@@ -1,0 +1,337 @@
+package flumen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flumen/internal/energy"
+	"flumen/internal/mat"
+	"flumen/internal/optics"
+	"flumen/internal/photonic"
+	"flumen/internal/workload"
+)
+
+// Accelerator performs matrix algebra on a simulated Flumen photonic
+// fabric. Matrices are zero-padded and split into BlockSize×BlockSize
+// sub-blocks (Eq. 2-3); each block is scaled by its spectral norm,
+// decomposed via SVD, programmed into a mesh partition with the Clements
+// algorithm, and evaluated by exact complex E-field propagation. Inputs
+// and detected outputs pass through DAC/ADC quantizers, reproducing the
+// paper's 8-bit equivalent analog precision.
+type Accelerator struct {
+	fabric    *photonic.FlumenMesh
+	partition *photonic.Partition
+	quant     optics.Quantizer
+	noise     *optics.NoiseModel
+	ep        energy.Params
+
+	blockSize int
+	lambdas   int
+
+	energyPJ float64
+	programs int64
+	batches  int64
+}
+
+// NewAccelerator builds an accelerator over a `ports`-input Flumen mesh
+// with one compute partition of the given block size. ports must be a
+// positive multiple of 4; blockSize must be even, ≥2 and ≤ ports/2.
+func NewAccelerator(ports, blockSize int) (*Accelerator, error) {
+	if ports < 4 || ports%4 != 0 {
+		return nil, fmt.Errorf("flumen: ports must be a positive multiple of 4, got %d", ports)
+	}
+	fabric := photonic.NewFlumenMesh(ports)
+	part, err := fabric.NewPartition(0, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{
+		fabric:    fabric,
+		partition: part,
+		quant:     optics.NewQuantizer(8, 1),
+		ep:        energy.Default(),
+		blockSize: blockSize,
+		lambdas:   8,
+	}, nil
+}
+
+// SetPrecision configures the DAC/ADC bit depth (default 8).
+func (a *Accelerator) SetPrecision(bits int) { a.quant = optics.NewQuantizer(bits, 1) }
+
+// EnableNoise turns on analog detection noise (laser RIN plus a thermal
+// floor, per the Table 2 receiver model) with the given seed; seedless
+// deterministic runs are the default. Pass the same seed to reproduce a
+// noisy run exactly.
+func (a *Accelerator) EnableNoise(seed int64) {
+	n := optics.DefaultNoise(1, rand.New(rand.NewSource(seed)))
+	a.noise = &n
+}
+
+// DisableNoise restores deterministic detection.
+func (a *Accelerator) DisableNoise() { a.noise = nil }
+
+// Precision returns the converter bit depth.
+func (a *Accelerator) Precision() int { return a.quant.Bits }
+
+// BlockSize returns the compute partition size.
+func (a *Accelerator) BlockSize() int { return a.blockSize }
+
+// EnergyPJ returns the accumulated photonic compute energy (Fig. 12b
+// model).
+func (a *Accelerator) EnergyPJ() float64 { return a.energyPJ }
+
+// Stats returns the phase-programming and vector-batch counts.
+func (a *Accelerator) Stats() (programs, batches int64) { return a.programs, a.batches }
+
+// MatVec computes y = M·x photonically. M is row-major.
+func (a *Accelerator) MatVec(m [][]float64, x []float64) ([]float64, error) {
+	if len(m) == 0 || len(m[0]) != len(x) {
+		return nil, fmt.Errorf("flumen: MatVec dimension mismatch: %d×%d · %d", len(m), colsOf(m), len(x))
+	}
+	cols := [][]float64{x}
+	out, err := a.MatMul(m, transpose(cols))
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, len(out))
+	for i := range out {
+		y[i] = out[i][0]
+	}
+	return y, nil
+}
+
+// MatMul computes C = M·X photonically, batching up to 8 columns of X per
+// programmed block (the WDM-parallel MVMs of Sec 3.3.1).
+func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
+	rows, inner := len(m), colsOf(m)
+	if rows == 0 || inner == 0 {
+		return nil, fmt.Errorf("flumen: empty matrix")
+	}
+	if len(x) != inner {
+		return nil, fmt.Errorf("flumen: MatMul dimension mismatch: %d×%d · %d×%d", rows, inner, len(x), colsOf(x))
+	}
+	nrhs := colsOf(x)
+	md := realDense(m)
+	xd := realDense(x)
+
+	n := a.blockSize
+	pm := mat.PadTo(md, n)
+	px := mat.PadTo(xd, n)
+	bi := pm.Rows() / n
+	bj := pm.Cols() / n
+	out := mat.New(pm.Rows(), px.Cols())
+
+	for c := 0; c < bj; c++ {
+		for r := 0; r < bi; r++ {
+			blk := mat.Block(pm, n, r, c)
+			if err := a.partition.ProgramScaled(blk); err != nil {
+				return nil, err
+			}
+			a.programs++
+			a.energyPJ += a.ep.FlumenProgramPJ(n)
+			// Stream the right-hand-side columns in λ batches.
+			for v0 := 0; v0 < nrhs; v0 += a.lambdas {
+				v1 := min(v0+a.lambdas, nrhs)
+				for v := v0; v < v1; v++ {
+					seg := make([]complex128, n)
+					for i := 0; i < n; i++ {
+						seg[i] = px.At(c*n+i, v)
+					}
+					// Scale inputs into the modulator's full-scale range and
+					// quantize at the DAC.
+					scale := maxAbs(seg)
+					if scale == 0 {
+						continue
+					}
+					for i := range seg {
+						seg[i] /= complex(scale, 0)
+					}
+					a.quant.QuantizeComplexVec(seg)
+					res := a.partition.MVM(seg)
+					if a.noise != nil {
+						for i := range res {
+							res[i] = complex(a.noise.Apply(real(res[i])), a.noise.Apply(imag(res[i])))
+						}
+					}
+					// ADC quantization of detected outputs, in the
+					// normalized (pre-spectral-rescale) domain. A
+					// unit-spectral-norm block driven by |x|∞ ≤ 1 inputs
+					// can emit field amplitudes up to √n, so the ADC full
+					// scale is sized to √n.
+					if a.partition.Scale != 0 {
+						adc := optics.NewQuantizer(a.quant.Bits, math.Sqrt(float64(n)))
+						for i := range res {
+							res[i] /= complex(a.partition.Scale, 0)
+						}
+						adc.QuantizeComplexVec(res)
+						for i := range res {
+							res[i] *= complex(a.partition.Scale, 0)
+						}
+					}
+					for i := 0; i < n; i++ {
+						out.Set(r*n+i, v, out.At(r*n+i, v)+res[i]*complex(scale, 0))
+					}
+				}
+				a.batches++
+				a.energyPJ += a.ep.FlumenVectorsPJ(n, v1-v0)
+			}
+		}
+	}
+	// Truncate padding and convert to real.
+	result := make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		result[i] = make([]float64, nrhs)
+		for j := 0; j < nrhs; j++ {
+			result[i][j] = real(out.At(i, j))
+		}
+	}
+	return result, nil
+}
+
+// Conv2D convolves a stack of input channels with a set of kernels on the
+// photonic fabric, using the im2col lowering of Fig. 7: the kernel matrix
+// is programmed into mesh partitions block by block and every receptive
+// field streams through as an optical input vector.
+//
+// input is indexed [channel][y][x]; kernels is indexed
+// [kernel][channel][ky][kx]. The result is indexed [kernel][y][x] with
+// dimensions determined by stride and pad.
+func (a *Accelerator) Conv2D(input [][][]float64, kernels [][][][]float64, stride, pad int) ([][][]float64, error) {
+	if len(input) == 0 || len(input[0]) == 0 || len(input[0][0]) == 0 {
+		return nil, fmt.Errorf("flumen: Conv2D empty input")
+	}
+	if len(kernels) == 0 || len(kernels[0]) != len(input) {
+		return nil, fmt.Errorf("flumen: Conv2D kernel channel count %d does not match input %d",
+			len(kernels[0]), len(input))
+	}
+	shape := workload.ConvShape{
+		InW: len(input[0][0]), InH: len(input[0]), InC: len(input),
+		KH: len(kernels[0][0]), KW: len(kernels[0][0][0]),
+		NumKernels: len(kernels), Stride: stride, Pad: pad,
+	}
+	shape.Validate()
+	vol := workload.NewVolume(shape.InW, shape.InH, shape.InC)
+	for c := range input {
+		for y := range input[c] {
+			for x := range input[c][y] {
+				vol.Set(x, y, c, input[c][y][x])
+			}
+		}
+	}
+	ravel := make([][]float64, shape.NumKernels)
+	for k := range kernels {
+		ravel[k] = make([]float64, 0, shape.PatchLen())
+		for c := 0; c < shape.InC; c++ {
+			for ky := 0; ky < shape.KH; ky++ {
+				for kx := 0; kx < shape.KW; kx++ {
+					ravel[k] = append(ravel[k], kernels[k][c][ky][kx])
+				}
+			}
+		}
+	}
+	km := workload.KernelMatrix(shape, ravel)
+	cols := workload.Im2Col(shape, vol)
+	prod, err := a.MatMul(denseToFloat(km), denseToFloat(cols))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]float64, shape.NumKernels)
+	for k := range out {
+		out[k] = make([][]float64, shape.OutH())
+		for y := range out[k] {
+			out[k][y] = make([]float64, shape.OutW())
+			for x := range out[k][y] {
+				out[k][y][x] = prod[k][y*shape.OutW()+x]
+			}
+		}
+	}
+	return out, nil
+}
+
+func denseToFloat(d *mat.Dense) [][]float64 {
+	out := make([][]float64, d.Rows())
+	for i := range out {
+		out[i] = make([]float64, d.Cols())
+		for j := range out[i] {
+			out[i][j] = real(d.At(i, j))
+		}
+	}
+	return out
+}
+
+// RoutePermutation demonstrates the fabric's communication mode: it routes
+// input port i to output perm[i] and returns the per-port MZI path counts
+// whose spread the attenuator column equalizes.
+func (a *Accelerator) RoutePermutation(perm []int) ([]int, error) {
+	if len(perm) != a.fabric.N() {
+		return nil, fmt.Errorf("flumen: permutation length %d, fabric has %d ports", len(perm), a.fabric.N())
+	}
+	a.fabric.RoutePermutation(perm)
+	counts := make([]int, len(perm))
+	for src := range perm {
+		counts[src], _ = a.fabric.PathMZICount(src)
+	}
+	// Restore the compute partition (routing reset the fabric).
+	part, err := a.fabric.NewPartition(0, a.blockSize)
+	if err != nil {
+		return nil, err
+	}
+	a.partition = part
+	return counts, nil
+}
+
+// Ports returns the fabric port count.
+func (a *Accelerator) Ports() int { return a.fabric.N() }
+
+func colsOf(m [][]float64) int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+func transpose(m [][]float64) [][]float64 {
+	r, c := len(m), colsOf(m)
+	out := make([][]float64, c)
+	for j := 0; j < c; j++ {
+		out[j] = make([]float64, r)
+		for i := 0; i < r; i++ {
+			out[j][i] = m[i][j]
+		}
+	}
+	return out
+}
+
+func realDense(m [][]float64) *mat.Dense {
+	d := mat.New(len(m), len(m[0]))
+	for i, row := range m {
+		if len(row) != len(m[0]) {
+			panic("flumen: ragged matrix")
+		}
+		for j, v := range row {
+			d.Set(i, j, complex(v, 0))
+		}
+	}
+	return d
+}
+
+func maxAbs(xs []complex128) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(real(x)); a > m {
+			m = a
+		}
+		if a := math.Abs(imag(x)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

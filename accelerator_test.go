@@ -1,0 +1,423 @@
+package flumen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(r, c int, rng *rand.Rand) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = 2*rng.Float64() - 1
+		}
+	}
+	return m
+}
+
+func matVecRef(m [][]float64, x []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func maxRange(m [][]float64) float64 {
+	var r float64
+	for _, row := range m {
+		for _, v := range row {
+			if a := math.Abs(v); a > r {
+				r = a
+			}
+		}
+	}
+	return r
+}
+
+func TestNewAcceleratorValidation(t *testing.T) {
+	if _, err := NewAccelerator(6, 4); err == nil {
+		t.Fatal("non-multiple-of-4 ports accepted")
+	}
+	if _, err := NewAccelerator(16, 10); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	a, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ports() != 16 || a.BlockSize() != 8 || a.Precision() != 8 {
+		t.Fatalf("accelerator geometry wrong: %d ports, block %d, %d bits", a.Ports(), a.BlockSize(), a.Precision())
+	}
+}
+
+func TestAcceleratorMatVec8Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomMatrix(12, 20, rng)
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	got, err := a.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matVecRef(m, x)
+	// 8-bit quantization over 3 block columns: relative error bounded by a
+	// few LSB per block accumulation.
+	scale := 0.0
+	for _, w := range want {
+		if math.Abs(w) > scale {
+			scale = math.Abs(w)
+		}
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 0.05*scale+0.05 {
+			t.Fatalf("MatVec[%d] = %g, want %g (8-bit tolerance exceeded)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAcceleratorHighPrecisionConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := NewAccelerator(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPrecision(16)
+	m := randomMatrix(4, 4, rng)
+	x := []float64{0.3, -0.7, 0.2, 0.9}
+	got, err := a.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matVecRef(m, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-3 {
+			t.Fatalf("16-bit MatVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAcceleratorErrorShrinksWithPrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(8, 8, rng)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	want := matVecRef(m, x)
+	errAt := func(bits int) float64 {
+		a, err := NewAccelerator(16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetPrecision(bits)
+		got, err := a.MatVec(m, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i := range got {
+			if d := math.Abs(got[i] - want[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	e4 := errAt(4)
+	e8 := errAt(8)
+	e12 := errAt(12)
+	if !(e12 < e8 && e8 < e4) {
+		t.Fatalf("error not monotone in precision: e4=%g e8=%g e12=%g", e4, e8, e12)
+	}
+}
+
+func TestAcceleratorMatMulMatchesMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomMatrix(8, 8, rng)
+	x := randomMatrix(8, 3, rng)
+	got, err := a.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		col := make([]float64, 8)
+		for i := range col {
+			col[i] = x[i][j]
+		}
+		b, err := NewAccelerator(16, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := b.MatVec(m, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i][j]-want[i]) > 1e-9 {
+				t.Fatalf("MatMul col %d row %d: %g vs MatVec %g", j, i, got[i][j], want[i])
+			}
+		}
+	}
+}
+
+func TestAcceleratorDimensionChecks(t *testing.T) {
+	a, err := NewAccelerator(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.MatVec([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := a.MatMul([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("MatMul mismatch accepted")
+	}
+}
+
+func TestAcceleratorEnergyAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomMatrix(16, 16, rng)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if _, err := a.MatVec(m, x); err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyPJ() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	programs, batches := a.Stats()
+	// 16×16 in 8-blocks: 2×2 grid = 4 programs, 4 single-vector batches.
+	if programs != 4 || batches != 4 {
+		t.Fatalf("programs=%d batches=%d, want 4/4", programs, batches)
+	}
+}
+
+func TestAcceleratorRoutePermutation(t *testing.T) {
+	a, err := NewAccelerator(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := a.RoutePermutation([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 8 {
+		t.Fatalf("counts %v", counts)
+	}
+	for _, c := range counts {
+		if c < 1 || c > 8 {
+			t.Fatalf("path MZI count %d out of range", c)
+		}
+	}
+	// The fabric must still compute after restoring the partition.
+	rng := rand.New(rand.NewSource(6))
+	m := randomMatrix(4, 4, rng)
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	got, err := a.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matVecRef(m, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Fatalf("post-route MatVec diverged: %g vs %g", got[i], want[i])
+		}
+	}
+}
+
+func TestPropertyAcceleratorAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		a, err := NewAccelerator(16, 8)
+		if err != nil {
+			return false
+		}
+		m := randomMatrix(rows, cols, rng)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = 2*rng.Float64() - 1
+		}
+		got, err := a.MatVec(m, x)
+		if err != nil {
+			return false
+		}
+		want := matVecRef(m, x)
+		bound := 0.02*maxRange(m)*float64(cols) + 0.05
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcceleratorNoiseAddsBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(8, 8, rng)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 2*rng.Float64() - 1
+	}
+	clean, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.SetPrecision(16)
+	ref, err := clean.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy.SetPrecision(16)
+	noisy.EnableNoise(1)
+	got, err := noisy.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range got {
+		if d := math.Abs(got[i] - ref[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst == 0 {
+		t.Fatal("noise model injected nothing")
+	}
+	if worst > 0.2 {
+		t.Fatalf("detection noise error %g implausibly large", worst)
+	}
+	// Determinism: same seed reproduces the run.
+	noisy2, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy2.SetPrecision(16)
+	noisy2.EnableNoise(1)
+	got2, err := noisy2.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatal("seeded noise not reproducible")
+		}
+	}
+	// DisableNoise restores the deterministic path.
+	noisy.DisableNoise()
+	clean2, err := noisy.MatVec(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean2 {
+		if math.Abs(clean2[i]-ref[i]) > 1e-12 {
+			t.Fatal("DisableNoise did not restore determinism")
+		}
+	}
+}
+
+func TestAcceleratorConv2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// 2-channel 6×6 input, three 3×3×2 kernels, stride 1, pad 1.
+	input := make([][][]float64, 2)
+	for c := range input {
+		input[c] = make([][]float64, 6)
+		for y := range input[c] {
+			input[c][y] = make([]float64, 6)
+			for x := range input[c][y] {
+				input[c][y][x] = 2*rng.Float64() - 1
+			}
+		}
+	}
+	kernels := make([][][][]float64, 3)
+	for k := range kernels {
+		kernels[k] = make([][][]float64, 2)
+		for c := range kernels[k] {
+			kernels[k][c] = make([][]float64, 3)
+			for ky := range kernels[k][c] {
+				kernels[k][c][ky] = make([]float64, 3)
+				for kx := range kernels[k][c][ky] {
+					kernels[k][c][ky][kx] = (2*rng.Float64() - 1) / 4
+				}
+			}
+		}
+	}
+	acc, err := NewAccelerator(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := acc.Conv2D(input, kernels, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || len(out[0]) != 6 || len(out[0][0]) != 6 {
+		t.Fatalf("output shape %d×%d×%d", len(out), len(out[0]), len(out[0][0]))
+	}
+	// Direct reference at a few positions.
+	ref := func(k, oy, ox int) float64 {
+		var acc float64
+		for c := 0; c < 2; c++ {
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					y, x := oy+ky-1, ox+kx-1
+					if y < 0 || y >= 6 || x < 0 || x >= 6 {
+						continue
+					}
+					acc += kernels[k][c][ky][kx] * input[c][y][x]
+				}
+			}
+		}
+		return acc
+	}
+	for _, pos := range [][3]int{{0, 0, 0}, {1, 3, 2}, {2, 5, 5}} {
+		k, y, x := pos[0], pos[1], pos[2]
+		if math.Abs(out[k][y][x]-ref(k, y, x)) > 0.08 {
+			t.Fatalf("Conv2D[%d][%d][%d] = %g, want %g", k, y, x, out[k][y][x], ref(k, y, x))
+		}
+	}
+}
+
+func TestAcceleratorConv2DValidation(t *testing.T) {
+	acc, err := NewAccelerator(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Conv2D(nil, nil, 1, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	input := [][][]float64{{{1, 2}, {3, 4}}}
+	badKernels := [][][][]float64{{{{1}}, {{1}}}} // 2 channels vs 1
+	if _, err := acc.Conv2D(input, badKernels, 1, 0); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+}

@@ -1,0 +1,485 @@
+package flumen
+
+// This file is the benchmark harness indexed in DESIGN.md: one testing.B
+// bench per table/figure of the paper's evaluation, plus ablation benches
+// for the design choices DESIGN.md calls out. Each bench reports the
+// figure's headline quantities as custom metrics so
+// `go test -bench=. -benchmem` regenerates the evaluation in one run.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flumen/internal/core"
+	"flumen/internal/energy"
+	"flumen/internal/mat"
+	"flumen/internal/noc"
+	"flumen/internal/optics"
+	"flumen/internal/photonic"
+	"flumen/internal/workload"
+)
+
+// benchWorkload returns a scaled workload (keeps bench iterations fast
+// while preserving the traffic and compute shape).
+func benchWorkload(b *testing.B, name string, scale int) workload.Workload {
+	b.Helper()
+	for _, w := range workload.ScaledAll(scale) {
+		if w.Name() == name {
+			return w
+		}
+	}
+	b.Fatalf("no workload %q", name)
+	return nil
+}
+
+func mustRun(b *testing.B, w workload.Workload, topo string, cfg Config) Result {
+	b.Helper()
+	res, err := RunWorkload(w, topo, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig01LinkUtilization regenerates Fig. 1: average photonic link
+// utilization for Image Blur and VGG16 FC at 16/32/64 wavelengths.
+func BenchmarkFig01LinkUtilization(b *testing.B) {
+	for _, name := range []string{"ImageBlur", "VGG16FC"} {
+		for _, lambdas := range []int{16, 32, 64} {
+			b.Run(fmt.Sprintf("%s/%dlambda", name, lambdas), func(b *testing.B) {
+				w := benchWorkload(b, name, 2)
+				cfg := DefaultConfig()
+				cfg.Wavelengths = lambdas
+				var util float64
+				for i := 0; i < b.N; i++ {
+					util = mustRun(b, w, "Flumen-I", cfg).AvgLinkUtilization
+				}
+				b.ReportMetric(100*util, "util%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig11SyntheticTraffic regenerates Fig. 11: latency versus load
+// for each topology and pattern at a representative moderate load.
+func BenchmarkFig11SyntheticTraffic(b *testing.B) {
+	np := core.DefaultNetworkParams()
+	mks := []struct {
+		name string
+		mk   func() noc.Network
+	}{
+		{"Ring", func() noc.Network { return noc.NewRing(np.Nodes, np.RingWidthBits, np.BufPackets) }},
+		{"Mesh", func() noc.Network { return noc.NewMesh(4, 4, np.MeshWidthBits, np.BufPackets) }},
+		{"OptBus", func() noc.Network { return noc.NewOptBus(np.Nodes, np.BusChannels, np.BusWidthBits) }},
+		{"Flumen", func() noc.Network { return noc.NewMZIM(np.Nodes, np.MZIMWidthBits, np.MZIMSetupCycles) }},
+	}
+	pats := []noc.Pattern{noc.Uniform(np.Nodes), noc.BitReversal(np.Nodes), noc.Shuffle(np.Nodes)}
+	cfg := noc.DefaultRunConfig()
+	cfg.MeasureCycles = 4000
+	for _, m := range mks {
+		for _, pat := range pats {
+			b.Run(m.name+"/"+pat.Name, func(b *testing.B) {
+				var lat float64
+				for i := 0; i < b.N; i++ {
+					lat = noc.RunSynthetic(m.mk(), pat, 0.02, cfg).AvgLatency
+				}
+				b.ReportMetric(lat, "cycles/pkt")
+			})
+		}
+	}
+}
+
+// BenchmarkFig12aLaserPower regenerates Fig. 12a: laser power for OptBus
+// and Flumen at the paper's quoted point (32 λ, 0.1 dB MRR thru loss).
+func BenchmarkFig12aLaserPower(b *testing.B) {
+	d := optics.DefaultDevices()
+	var ob, fl float64
+	for i := 0; i < b.N; i++ {
+		ob = optics.OptBusLaserPowerMW(d, 16, 32, 1)
+		fl = optics.FlumenLaserPowerMW(d, 16, 32, 1)
+	}
+	b.ReportMetric(ob, "optbus-mW")
+	b.ReportMetric(fl*1000, "flumen-uW")
+	b.ReportMetric(ob/fl, "ratio")
+}
+
+// BenchmarkFig12bComputeEnergy regenerates Fig. 12b: Flumen vs electrical
+// MAC energy at the paper's anchor points.
+func BenchmarkFig12bComputeEnergy(b *testing.B) {
+	p := energy.Default()
+	for _, tc := range []struct{ n, v int }{{8, 4}, {16, 8}, {64, 1}, {64, 8}} {
+		b.Run(fmt.Sprintf("%dx%d-%dvec", tc.n, tc.n, tc.v), func(b *testing.B) {
+			var e, f float64
+			for i := 0; i < b.N; i++ {
+				e = p.ElecMatMulPJ(tc.n, tc.v)
+				f = p.FlumenComputePJ(tc.n, tc.v)
+			}
+			b.ReportMetric(e, "elec-pJ")
+			b.ReportMetric(f, "flumen-pJ")
+			b.ReportMetric(e/f, "gain")
+		})
+	}
+}
+
+// BenchmarkFig12cMACEnergy regenerates Fig. 12c: per-MAC energy across
+// MZIM dimension and wavelength count.
+func BenchmarkFig12cMACEnergy(b *testing.B) {
+	p := energy.Default()
+	for _, n := range []int{8, 16, 64} {
+		for _, v := range []int{1, 8} {
+			b.Run(fmt.Sprintf("dim%d-%dlambda", n, v), func(b *testing.B) {
+				var e float64
+				for i := 0; i < b.N; i++ {
+					e = p.FlumenMACEnergyPJ(n, v)
+				}
+				b.ReportMetric(e*1000, "fJ/MAC")
+			})
+		}
+	}
+}
+
+// BenchmarkFig13Energy regenerates Fig. 13: total energy per benchmark on
+// Mesh and Flumen-A, reporting the energy gain.
+func BenchmarkFig13Energy(b *testing.B) {
+	for _, name := range Benchmarks() {
+		b.Run(name, func(b *testing.B) {
+			w := benchWorkload(b, name, 2)
+			cfg := DefaultConfig()
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				mesh := mustRun(b, w, "Mesh", cfg)
+				fa := mustRun(b, w, "Flumen-A", cfg)
+				gain = fa.EnergyGainOver(mesh)
+			}
+			b.ReportMetric(gain, "energy-gain")
+		})
+	}
+}
+
+// BenchmarkFig14Speedup regenerates Fig. 14: Flumen-A speedup over Mesh.
+func BenchmarkFig14Speedup(b *testing.B) {
+	for _, name := range Benchmarks() {
+		b.Run(name, func(b *testing.B) {
+			w := benchWorkload(b, name, 2)
+			cfg := DefaultConfig()
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				mesh := mustRun(b, w, "Mesh", cfg)
+				fa := mustRun(b, w, "Flumen-A", cfg)
+				sp = fa.SpeedupOver(mesh)
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkFig15EDP regenerates Fig. 15: Flumen-A EDP gain over Mesh.
+func BenchmarkFig15EDP(b *testing.B) {
+	for _, name := range Benchmarks() {
+		b.Run(name, func(b *testing.B) {
+			w := benchWorkload(b, name, 2)
+			cfg := DefaultConfig()
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				mesh := mustRun(b, w, "Mesh", cfg)
+				fa := mustRun(b, w, "Flumen-A", cfg)
+				gain = fa.EDPGainOver(mesh)
+			}
+			b.ReportMetric(gain, "edp-gain")
+		})
+	}
+}
+
+// BenchmarkSec51Area regenerates the Sec 5.1 area anchors.
+func BenchmarkSec51Area(b *testing.B) {
+	a := energy.DefaultArea()
+	var mzim, system float64
+	for i := 0; i < b.N; i++ {
+		mzim = a.MZIMAreaMM2(8)
+		system = a.FlumenSystemMM2(16, 8)
+	}
+	b.ReportMetric(mzim, "mzim8-mm2")
+	b.ReportMetric(system, "system-mm2")
+	b.ReportMetric(a.MZIMAreaMM2(64), "mzim64-mm2")
+}
+
+// BenchmarkSchedulerSensitivity regenerates the Sec 3.4 parameter study:
+// runtime at the paper's τ=100 point versus a starved τ=800 configuration.
+func BenchmarkSchedulerSensitivity(b *testing.B) {
+	w := benchWorkload(b, "JPEG", 2)
+	for _, tau := range []int64{25, 100, 400, 800} {
+		b.Run(fmt.Sprintf("tau%d", tau), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Tau = tau
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = mustRun(b, w, "Flumen-A", cfg).Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md Sec 4) ---
+
+// BenchmarkAblationProgramPipelining compares Flumen-A with and without
+// the double-buffered phase-DAC assumption on the zero-reuse VGG16 FC
+// workload, where every block requires a fresh program.
+func BenchmarkAblationProgramPipelining(b *testing.B) {
+	w := benchWorkload(b, "VGG16FC", 2)
+	for _, disabled := range []bool{false, true} {
+		name := "pipelined"
+		if disabled {
+			name = "serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.DisableProgramPipelining = disabled
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = mustRun(b, w, "Flumen-A", cfg).Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationArbiterLookahead compares the MZIM crossbar's
+// saturation behaviour with FIFO head-of-line blocking (lookahead 1)
+// against the default depth-2 request scan.
+func BenchmarkAblationArbiterLookahead(b *testing.B) {
+	cfg := noc.DefaultRunConfig()
+	cfg.MeasureCycles = 4000
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("lookahead%d", k), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				net := noc.NewMZIM(16, 256, 3)
+				net.SetLookahead(k)
+				lat = noc.RunSynthetic(net, noc.Uniform(16), 0.12, cfg).AvgLatency
+			}
+			b.ReportMetric(lat, "cycles/pkt")
+		})
+	}
+}
+
+// BenchmarkAblationLossEqualization measures the receiver power spread of
+// a routed permutation with and without the Flumen attenuator column
+// (Sec 3.1.2's motivation for the added MZI column).
+func BenchmarkAblationLossEqualization(b *testing.B) {
+	d := optics.DefaultDevices()
+	perMZI := d.MZIInsertionLossDB()
+	perm := []int{3, 7, 0, 5, 1, 6, 2, 4}
+	var rawSpreadDB, eqSpreadDB float64
+	for i := 0; i < b.N; i++ {
+		f := photonic.NewFlumenMesh(8)
+		f.RoutePermutation(perm)
+		minC, maxC := 1<<30, 0
+		for src := 0; src < 8; src++ {
+			c, _ := f.PathMZICount(src)
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		rawSpreadDB = float64(maxC-minC) * perMZI
+		f.EqualizeLoss(perMZI)
+		// After equalization all paths see the worst-case loss: spread 0.
+		var lo, hi float64 = math.Inf(1), math.Inf(-1)
+		for src := 0; src < 8; src++ {
+			count, dst := f.PathMZICount(src)
+			in := make([]complex128, 8)
+			in[src] = 1
+			out := f.Forward(in)
+			p := real(out[dst])*real(out[dst]) + imag(out[dst])*imag(out[dst])
+			total := float64(count)*perMZI - 10*math.Log10(p)
+			if total < lo {
+				lo = total
+			}
+			if total > hi {
+				hi = total
+			}
+		}
+		eqSpreadDB = hi - lo
+	}
+	b.ReportMetric(rawSpreadDB, "raw-spread-dB")
+	b.ReportMetric(eqSpreadDB, "equalized-spread-dB")
+}
+
+// BenchmarkAblationReckVsClements programs the same random unitary into
+// the rectangular Clements mesh the paper adopts and into a triangular
+// Reck mesh, comparing circuit depth (worst-case loss ∝ depth × per-MZI
+// insertion loss) and the per-port device-count spread the attenuator
+// column must equalize — the geometry choice DESIGN.md calls out.
+func BenchmarkAblationReckVsClements(b *testing.B) {
+	d := optics.DefaultDevices()
+	perMZI := d.MZIInsertionLossDB()
+	rng := rand.New(rand.NewSource(7))
+	const n = 16
+	u := mat.RandomUnitary(n, rng)
+	var clemDepth, reckDepth int
+	var reckSpread int
+	for i := 0; i < b.N; i++ {
+		clem := photonic.NewMesh(n)
+		clem.ProgramUnitary(u)
+		clemDepth = clem.Depth()
+		reck := photonic.NewReckMesh(n)
+		reck.ProgramUnitary(u)
+		reckDepth = reck.Depth()
+		touches := reck.WireTouches()
+		minT, maxT := touches[0], touches[0]
+		for _, t := range touches {
+			if t < minT {
+				minT = t
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+		reckSpread = maxT - minT
+	}
+	b.ReportMetric(float64(clemDepth)*perMZI, "clements-worstloss-dB")
+	b.ReportMetric(float64(reckDepth)*perMZI, "reck-worstloss-dB")
+	b.ReportMetric(float64(reckSpread), "reck-touch-spread")
+}
+
+// BenchmarkAblationPhaseNoise measures matrix error versus phase-noise
+// sigma for a programmed 8×8 mesh — the thermal/fabrication robustness
+// property Sec 6 credits MZI meshes with.
+func BenchmarkAblationPhaseNoise(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	u := mat.RandomUnitary(8, rng)
+	for _, sigma := range []float64{0.001, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("sigma%g", sigma), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				m := photonic.NewMesh(8)
+				m.ProgramUnitary(u)
+				m.PerturbPhases(sigma, rng)
+				if d := mat.MaxAbsDiff(m.Matrix(), u); d > worst {
+					worst = d
+				}
+			}
+			b.ReportMetric(worst, "max-matrix-err")
+		})
+	}
+}
+
+// --- Substrate micro-benches ---
+
+// BenchmarkClementsProgram measures programming an 8×8 unitary into a mesh
+// (decomposition + placement), the per-matrix software cost of the
+// simulator's compute path.
+func BenchmarkClementsProgram(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u := mat.RandomUnitary(8, rng)
+	m := photonic.NewMesh(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ProgramUnitary(u)
+	}
+}
+
+// BenchmarkPartitionProgram measures SVD-programming a 4-input Flumen
+// partition with an arbitrary contractive matrix.
+func BenchmarkPartitionProgram(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := mat.RandomDense(4, 4, rng)
+	a = mat.Scale(complex(0.9/mat.SpectralNorm(a), 0), a)
+	f := photonic.NewFlumenMesh(8)
+	p, err := f.NewPartition(0, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Program(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhotonicMVM measures one E-field forward propagation through an
+// 8-input Flumen fabric.
+func BenchmarkPhotonicMVM(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	f := photonic.NewFlumenMesh(8)
+	f.ProgramUnitary(mat.RandomUnitary(8, rng))
+	in := make([]complex128, 8)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Forward(in)
+	}
+}
+
+// BenchmarkSVD measures the one-sided Jacobi SVD on an 8×8 complex matrix.
+func BenchmarkSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := mat.RandomDense(8, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.SVD(a)
+	}
+}
+
+// BenchmarkNoCCycle measures the cost of one simulated cycle of the MZIM
+// NoP under moderate traffic.
+func BenchmarkNoCCycle(b *testing.B) {
+	net := noc.NewMZIM(16, 256, 3)
+	rng := rand.New(rand.NewSource(5))
+	var id int64
+	var cycle int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rng.Float64() < 0.3 {
+			src := rng.Intn(16)
+			dst := rng.Intn(15)
+			if dst >= src {
+				dst++
+			}
+			net.Inject(&noc.Packet{ID: id, Src: src, Dst: dst, Bits: 640}, cycle)
+			id++
+		}
+		net.Step(cycle)
+		cycle++
+	}
+}
+
+// BenchmarkFullSystemJPEG measures a complete scaled benchmark run on
+// Flumen-A (the unit of work behind Figs 13-15).
+func BenchmarkFullSystemJPEG(b *testing.B) {
+	w := benchWorkload(b, "JPEG", 4)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustRun(b, w, "Flumen-A", cfg)
+	}
+}
+
+// BenchmarkAblationInSituOptimization quantifies how much fidelity the
+// measurement-in-the-loop optimizer ([33] Pai et al.) recovers from
+// coupler-imbalanced hardware, versus open-loop Clements programming.
+func BenchmarkAblationInSituOptimization(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	u := mat.RandomUnitary(8, rng)
+	var before, after float64
+	for i := 0; i < b.N; i++ {
+		m := photonic.NewMesh(8)
+		m.SetFabricationErrors(0.02, rng)
+		m.ProgramUnitary(u)
+		before = mat.Sub(m.Matrix(), u).FrobeniusNorm()
+		after = m.InSituOptimize(u, 4)
+	}
+	b.ReportMetric(before, "openloop-err")
+	b.ReportMetric(after, "insitu-err")
+	if after > 0 {
+		b.ReportMetric(before/after, "recovery")
+	}
+}

@@ -1,0 +1,61 @@
+// Command flumen-area regenerates the Sec 5.1 area analysis: per-endpoint
+// area, the 8×8 Flumen MZIM plus controller footprint, the comparison with
+// an electrical-mesh system, and the 64×64 / 128-chiplet scaling
+// projection.
+package main
+
+import (
+	"fmt"
+
+	"flumen/internal/energy"
+	"flumen/internal/layout"
+	"flumen/internal/optics"
+)
+
+func main() {
+	a := energy.DefaultArea()
+	fmt.Println("=== Sec 5.1: area model ===")
+	fmt.Printf("endpoint area:                 %6.2f mm² (%.1f%% photonic transceiver)  [paper: 9.46 mm², 4.2%%]\n",
+		a.EndpointMM2, 100*a.TransceiverFraction)
+	fmt.Printf("8×8 Flumen MZIM:               %6.2f mm² (%d MZIs)                      [paper: 5.04 mm²]\n",
+		a.MZIMAreaMM2(8), energy.FlumenMZIMCount(8))
+	fmt.Printf("8×8 MZIM + controller:         %6.2f mm²                                [paper: 11.2 mm²]\n",
+		a.FlumenInterposerMM2(8))
+	fmt.Printf("16 chiplets:                   %6.2f mm²                                [paper: 151.36 mm²]\n",
+		a.ChipletsAreaMM2(16))
+
+	flumen16 := a.FlumenSystemMM2(16, 8)
+	mesh16 := a.MeshSystemMM2(16)
+	fmt.Printf("\n64-core Flumen system:         %6.2f mm²                                [paper: 162.6 mm²]\n", flumen16)
+	fmt.Printf("64-core electrical-mesh system:%6.2f mm²                                [paper: 114.9 mm² as printed;\n", mesh16)
+	fmt.Println("                                                                        144.9 mm² reconciles its own deltas]")
+	fmt.Printf("Flumen overhead:               %6.2f mm² (+%.1f%%)                       [paper: +17.7 mm², +12.2%% relative]\n",
+		flumen16-mesh16, 100*(flumen16-mesh16)/mesh16)
+
+	fmt.Println("\n--- scaling projection ---")
+	fmt.Printf("64×64 Flumen MZIM:             %6.1f mm² (≈%.1f chiplets in size)        [paper: 291.20 mm² ≈ 16 chiplets]\n",
+		a.MZIMAreaMM2(64), a.MZIMAreaMM2(64)/a.ChipletMM2)
+	fmt.Printf("128 chiplets:                  %6.1f mm²                                [paper: 1210.88 mm²]\n",
+		a.ChipletsAreaMM2(128))
+	fmt.Printf("interconnect fraction at 128 chiplets: %.1f%% (interposer-confined)\n",
+		100*a.MZIMAreaMM2(64)/(a.MZIMAreaMM2(64)+a.ChipletsAreaMM2(128)))
+
+	fmt.Println("\n--- MZIM area vs port count ---")
+	fmt.Printf("%-8s %10s %12s\n", "ports", "MZIs", "area (mm²)")
+	for _, n := range []int{8, 16, 32, 64} {
+		fmt.Printf("%-8d %10d %12.2f\n", n, energy.FlumenMZIMCount(n), a.MZIMAreaMM2(n))
+	}
+
+	// --- Fig. 9 interposer wiring analysis ---
+	f := layout.DefaultFloorplan()
+	d := optics.DefaultDevices()
+	fmt.Println("\n--- interposer floorplan (Fig. 9): 4×4 chiplets, 3.6 mm pitch ---")
+	fmt.Printf("mesh link length:              %6.2f mm (nearest neighbour)\n", f.MeshLinkLengthMM())
+	fmt.Printf("ring link length (avg):        %6.2f mm (index-order embedding, %0.2f× mesh)\n",
+		f.AvgRingLinkLengthMM(), f.RingEnergyScaleVsMesh())
+	fmt.Printf("worst chiplet→fabric waveguide:%6.2f cm (%.2f dB at %.1f dB/cm)\n",
+		f.WorstWaveguideRunCM(), f.WorstWaveguideRunCM()*d.WaveguideStraightLossDBcm,
+		d.WaveguideStraightLossDBcm)
+	fmt.Printf("worst round-trip waveguide:    %6.2f cm (%.2f dB) — the loss-budget input\n",
+		f.RoundTripWaveguideCM(), f.RoundTripWaveguideCM()*d.WaveguideStraightLossDBcm)
+}

@@ -1,0 +1,100 @@
+// Command flumen-net regenerates the synthetic-traffic evaluation of
+// Fig. 11 — average packet latency versus offered load for uniform random,
+// bit reversal, and shuffle patterns on the electrical ring, electrical
+// mesh, optical bus, and Flumen MZIM topologies — and the Sec 5.2 network
+// energy comparison.
+//
+// Usage:
+//
+//	flumen-net [-pattern name] [-topology name] [-energy] [-measure n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flumen/internal/core"
+	"flumen/internal/energy"
+	"flumen/internal/noc"
+)
+
+func main() {
+	patFlag := flag.String("pattern", "", "uniform | bitrev | shuffle (default: all)")
+	topoFlag := flag.String("topology", "", "Ring | Mesh | OptBus | Flumen (default: all)")
+	energyFlag := flag.Bool("energy", false, "print the Sec 5.2 network energy comparison")
+	measure := flag.Int64("measure", 10000, "measurement window in cycles")
+	flag.Parse()
+
+	np := core.DefaultNetworkParams()
+	nodes := np.Nodes
+	mk := map[string]func() noc.Network{
+		"Ring":   func() noc.Network { return noc.NewRing(nodes, np.RingWidthBits, np.BufPackets) },
+		"Mesh":   func() noc.Network { return noc.NewMesh(4, 4, np.MeshWidthBits, np.BufPackets) },
+		"OptBus": func() noc.Network { return noc.NewOptBus(nodes, np.BusChannels, np.BusWidthBits) },
+		"Flumen": func() noc.Network { return noc.NewMZIM(nodes, np.MZIMWidthBits, np.MZIMSetupCycles) },
+	}
+	order := []string{"Ring", "Mesh", "OptBus", "Flumen"}
+	patterns := map[string]noc.Pattern{}
+	var patOrder []string
+	for _, p := range noc.AllPatterns(nodes) {
+		patterns[p.Name] = p
+		patOrder = append(patOrder, p.Name)
+	}
+
+	cfg := noc.DefaultRunConfig()
+	cfg.MeasureCycles = *measure
+	rates := []float64{0.002, 0.005, 0.01, 0.02, 0.04, 0.06, 0.09, 0.12, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50}
+
+	if *energyFlag {
+		printEnergy(mk, order, patterns["uniform"], cfg)
+		return
+	}
+
+	fmt.Println("=== Fig. 11: average latency vs offered load (16 nodes, matched bisection BW) ===")
+	for _, pname := range patOrder {
+		if *patFlag != "" && *patFlag != pname {
+			continue
+		}
+		pat, ok := patterns[pname]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown pattern %q\n", pname)
+			os.Exit(1)
+		}
+		fmt.Printf("\n--- pattern: %s ---\n", pname)
+		for _, tname := range order {
+			if *topoFlag != "" && *topoFlag != tname {
+				continue
+			}
+			fmt.Printf("%s:\n", tname)
+			for _, r := range noc.LoadSweep(mk[tname], pat, rates, cfg) {
+				fmt.Printf("  %s\n", r)
+			}
+		}
+	}
+}
+
+// printEnergy reproduces the Sec 5.2 comparison: network energy across the
+// synthetic benchmarks relative to the Ring, at a fixed moderate load.
+func printEnergy(mk map[string]func() noc.Network, order []string, pat noc.Pattern, cfg noc.RunConfig) {
+	fmt.Println("=== Sec 5.2: network energy on synthetic traffic (relative to Ring) ===")
+	p := energy.Default()
+	const rate = 0.02
+	kindOf := map[string]core.TopologyKind{
+		"Ring": core.TopoRing, "Mesh": core.TopoMesh,
+		"OptBus": core.TopoOptBus, "Flumen": core.TopoFlumenI,
+	}
+	energies := map[string]float64{}
+	for _, tname := range order {
+		res := noc.RunSynthetic(mk[tname](), pat, rate, cfg)
+		seconds := float64(res.ElapsedCycles) / (p.CoreClockGHz * 1e9)
+		energies[tname] = core.NoPEnergyPJ(kindOf[tname], res.Counters, seconds, 16, p, 0)
+	}
+	ring := energies["Ring"]
+	fmt.Printf("%-8s %14s %12s\n", "topology", "energy (µJ)", "vs Ring")
+	for _, tname := range order {
+		red := 100 * (1 - energies[tname]/ring)
+		fmt.Printf("%-8s %14.3f %10.1f%% reduction\n", tname, energies[tname]/1e6, red)
+	}
+	fmt.Println("paper: Mesh 77%, OptBus 35%, Flumen 39% reduction vs Ring")
+}

@@ -1,0 +1,77 @@
+// Network explorer: exercise the Flumen fabric's communication modes at
+// the device level — point-to-point permutation routing with loss
+// equalization, physical broadcast, and multicast — and compare the four
+// NoP topologies' latency under increasing synthetic load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flumen"
+	"flumen/internal/noc"
+)
+
+func main() {
+	// Device level: route a permutation and inspect path-length spread.
+	acc, err := flumen.NewAccelerator(16, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perm := []int{5, 12, 0, 9, 14, 2, 7, 11, 1, 15, 4, 8, 13, 3, 10, 6}
+	counts, err := acc.RoutePermutation(perm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minC, maxC := counts[0], counts[0]
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Println("Flumen MZIM point-to-point routing (16 ports):")
+	fmt.Printf("  permutation: %v\n", perm)
+	fmt.Printf("  MZIs traversed per path: %v\n", counts)
+	fmt.Printf("  spread %d..%d — the attenuator column equalizes this %d-MZI loss difference (Sec 3.1.2)\n\n",
+		minC, maxC, maxC-minC)
+
+	// Cycle level: latency vs load across topologies (a slice of Fig. 11).
+	np := struct {
+		ring, mesh, bus, mzim int
+	}{560, 320, 256, 256}
+	mk := []struct {
+		name string
+		f    func() noc.Network
+	}{
+		{"Ring", func() noc.Network { return noc.NewRing(16, np.ring, 4) }},
+		{"Mesh", func() noc.Network { return noc.NewMesh(4, 4, np.mesh, 4) }},
+		{"OptBus", func() noc.Network { return noc.NewOptBus(16, 8, np.bus) }},
+		{"Flumen", func() noc.Network { return noc.NewMZIM(16, np.mzim, 3) }},
+	}
+	cfg := noc.DefaultRunConfig()
+	cfg.MeasureCycles = 5000
+	pattern := noc.Uniform(16)
+	fmt.Println("uniform-random latency vs offered load (cycles):")
+	fmt.Printf("%-12s", "load (Gbps)")
+	for _, m := range mk {
+		fmt.Printf(" %9s", m.name)
+	}
+	fmt.Println()
+	for _, rate := range []float64{0.005, 0.02, 0.05, 0.1, 0.15} {
+		fmt.Printf("%-12.0f", rate*640*2.5)
+		for _, m := range mk {
+			r := noc.RunSynthetic(m.f(), pattern, rate, cfg)
+			if r.Saturated {
+				fmt.Printf(" %9s", "sat")
+			} else {
+				fmt.Printf(" %9.1f", r.AvgLatency)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nFlumen's non-blocking crossbar keeps latency lowest until the")
+	fmt.Println("per-port bandwidth limit; the shared-waveguide OptBus saturates first.")
+}

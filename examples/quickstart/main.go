@@ -1,0 +1,40 @@
+// Quickstart: run one benchmark on the electrical mesh and on Flumen with
+// acceleration enabled, and print the headline comparison (runtime, energy,
+// EDP) — the minimal end-to-end use of the flumen package.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flumen"
+)
+
+func main() {
+	cfg := flumen.DefaultConfig()
+
+	mesh, err := flumen.RunBenchmark("JPEG", "Mesh", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accel, err := flumen.RunBenchmark("JPEG", "Flumen-A", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("JPEG compression, 64 cores / 16 chiplets")
+	fmt.Printf("%-22s %14s %14s\n", "", "Mesh", "Flumen-A")
+	fmt.Printf("%-22s %11d cy %11d cy\n", "runtime", mesh.Cycles, accel.Cycles)
+	fmt.Printf("%-22s %11.1f µJ %11.1f µJ\n", "total energy",
+		mesh.Energy.TotalPJ()/1e6, accel.Energy.TotalPJ()/1e6)
+	fmt.Printf("%-22s %11.2f µs %11.2f µs\n", "wall time",
+		mesh.Seconds*1e6, accel.Seconds*1e6)
+	fmt.Printf("%-22s %14.3f %14.3f\n", "EDP (nJ·s)",
+		mesh.EDPJouleSeconds*1e9, accel.EDPJouleSeconds*1e9)
+	fmt.Println()
+	fmt.Printf("speedup:     %.2f×\n", accel.SpeedupOver(mesh))
+	fmt.Printf("energy gain: %.2f×\n", accel.EnergyGainOver(mesh))
+	fmt.Printf("EDP gain:    %.2f×\n", accel.EDPGainOver(mesh))
+	fmt.Printf("\nFlumen-A offloaded %d compute kernels (%d phase programs, %d reuses)\n",
+		accel.OffloadsGranted, accel.Reprograms, accel.TagReuses)
+}

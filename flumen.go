@@ -1,0 +1,316 @@
+// Package flumen is a simulation library reproducing "Flumen: Dynamic
+// Processing in the Photonic Interconnect" (ISCA 2023): a dual-purpose
+// photonic network-on-package whose Mach-Zehnder interferometer mesh
+// carries chiplet traffic under load and is dynamically partitioned into
+// SVD compute regions that accelerate linear algebra when the network is
+// idle.
+//
+// The package exposes two entry points:
+//
+//   - RunBenchmark executes one of the paper's five benchmark applications
+//     on a full-system model (64 cores, 16 chiplets, cache hierarchy, NoP)
+//     under any of the evaluated topologies, returning runtime, a
+//     per-component energy breakdown, and energy-delay product — the data
+//     behind Figs. 13, 14 and 15.
+//
+//   - Accelerator performs bit-exact photonic matrix algebra: it programs
+//     Flumen mesh partitions via the Clements decomposition and streams
+//     quantized vectors through the simulated E-field transfer matrices,
+//     modelling the 8-bit equivalent analog computation of Sec. 3.3.
+package flumen
+
+import (
+	"fmt"
+
+	"flumen/internal/chip"
+	"flumen/internal/core"
+	"flumen/internal/energy"
+	"flumen/internal/noc"
+	"flumen/internal/workload"
+)
+
+// Config selects the system parameters (defaults follow Table 1 and
+// Sec 3.4 of the paper).
+type Config struct {
+	// Cores and Chiplets size the multicore (64 cores on 16 chiplets).
+	Cores    int
+	Chiplets int
+	// ComputeBlock is the MZIM partition size used for offloaded block
+	// matrix multiplication (8).
+	ComputeBlock int
+	// ComputeLambdas is the number of computation wavelengths (8).
+	ComputeLambdas int
+	// Tau, Eta, Zeta are the Algorithm 1 scheduler parameters: evaluation
+	// period (100 cycles), buffer utilization threshold (0.40), and buffer
+	// scan depth (0.50).
+	Tau  int64
+	Eta  float64
+	Zeta float64
+	// MaxComputePorts caps fabric ports held by compute partitions (8).
+	MaxComputePorts int
+	// UtilWindow enables link-utilization trace sampling when positive
+	// (cycles per sample).
+	UtilWindow int64
+	// Wavelengths sets the photonic link WDM count (Fig. 1 bandwidth
+	// sensitivity: 16/32/64 λ ⇔ 160/320/640 Gbps). 0 selects the Table 1
+	// default of 64.
+	Wavelengths int
+	// DisableProgramPipelining exposes the full 6 ns phase-programming
+	// latency on every matrix switch instead of hiding it behind the
+	// previous block's streaming (ablation of the double-buffered phase
+	// DAC assumption).
+	DisableProgramPipelining bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           64,
+		Chiplets:        16,
+		ComputeBlock:    8,
+		ComputeLambdas:  8,
+		Tau:             100,
+		Eta:             0.40,
+		Zeta:            0.50,
+		MaxComputePorts: 16,
+	}
+}
+
+// Topologies lists the evaluated interconnect names in figure order.
+func Topologies() []string {
+	out := make([]string, 0, 5)
+	for _, k := range core.AllTopologies() {
+		out = append(out, k.String())
+	}
+	return out
+}
+
+// Benchmarks lists the five benchmark application names (Sec 4.2).
+func Benchmarks() []string {
+	var out []string
+	for _, w := range workload.All() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
+// EnergyBreakdown is the per-component energy split of Fig. 13, in
+// picojoules.
+type EnergyBreakdown struct {
+	CorePJ float64
+	L1iPJ  float64
+	L1dPJ  float64
+	L2PJ   float64
+	L3PJ   float64
+	DRAMPJ float64
+	NoPPJ  float64
+}
+
+// TotalPJ sums the components.
+func (b EnergyBreakdown) TotalPJ() float64 {
+	return b.CorePJ + b.L1iPJ + b.L1dPJ + b.L2PJ + b.L3PJ + b.DRAMPJ + b.NoPPJ
+}
+
+// Result reports one benchmark run.
+type Result struct {
+	Benchmark string
+	Topology  string
+	// Cycles is the runtime in 2.5 GHz system cycles; Seconds converts it.
+	Cycles  int64
+	Seconds float64
+	// Energy is the Fig. 13 component breakdown; EDPJouleSeconds the
+	// Fig. 15 metric.
+	Energy          EnergyBreakdown
+	EDPJouleSeconds float64
+	// AvgLinkUtilization is the mean NoP link utilization (Fig. 1).
+	AvgLinkUtilization float64
+	// UtilizationTrace holds windowed samples when Config.UtilWindow > 0.
+	UtilizationTrace []float64
+	// Offload statistics (Flumen-A only).
+	OffloadsRequested int64
+	OffloadsGranted   int64
+	Reprograms        int64
+	TagReuses         int64
+	ComputePJ         float64
+	// Memory system activity.
+	DRAMAccesses int64
+	MACsOnCores  int64
+}
+
+// SpeedupOver returns this result's speedup relative to other (other takes
+// longer ⇒ value > 1).
+func (r Result) SpeedupOver(other Result) float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return other.Seconds / r.Seconds
+}
+
+// EDPGainOver returns the EDP improvement factor relative to other.
+func (r Result) EDPGainOver(other Result) float64 {
+	if r.EDPJouleSeconds == 0 {
+		return 0
+	}
+	return other.EDPJouleSeconds / r.EDPJouleSeconds
+}
+
+// EnergyGainOver returns the total-energy improvement factor.
+func (r Result) EnergyGainOver(other Result) float64 {
+	if t := r.Energy.TotalPJ(); t > 0 {
+		return other.Energy.TotalPJ() / t
+	}
+	return 0
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1 || c.Chiplets < 1:
+		return fmt.Errorf("flumen: need at least one core and one chiplet, got %d/%d", c.Cores, c.Chiplets)
+	case c.Cores%c.Chiplets != 0:
+		return fmt.Errorf("flumen: %d cores do not divide evenly across %d chiplets", c.Cores, c.Chiplets)
+	case isqrtInt(c.Chiplets) == 0:
+		return fmt.Errorf("flumen: chiplet count %d must be a perfect square (2D mesh layout)", c.Chiplets)
+	case c.ComputeBlock < 2 || c.ComputeBlock%2 != 0 || c.ComputeBlock > c.Chiplets/2:
+		return fmt.Errorf("flumen: compute block %d must be even, ≥2 and ≤ chiplets/2", c.ComputeBlock)
+	case c.ComputeLambdas < 1:
+		return fmt.Errorf("flumen: need at least one compute wavelength")
+	case c.Tau < 1:
+		return fmt.Errorf("flumen: τ must be positive, got %d", c.Tau)
+	case c.Eta < 0 || c.Eta > 1:
+		return fmt.Errorf("flumen: η %g outside [0,1]", c.Eta)
+	case c.Zeta <= 0 || c.Zeta > 1:
+		return fmt.Errorf("flumen: ζ %g outside (0,1]", c.Zeta)
+	case c.MaxComputePorts < c.ComputeBlock || c.MaxComputePorts > c.Chiplets:
+		return fmt.Errorf("flumen: compute port budget %d outside [%d,%d]", c.MaxComputePorts, c.ComputeBlock, c.Chiplets)
+	case c.Wavelengths < 0:
+		return fmt.Errorf("flumen: negative wavelength count")
+	}
+	return nil
+}
+
+func isqrtInt(n int) int {
+	for i := 1; i*i <= n; i++ {
+		if i*i == n {
+			return i
+		}
+	}
+	return 0
+}
+
+// RunBenchmark executes the named benchmark on the named topology at paper
+// scale. Topology names: Ring, Mesh, OptBus, Flumen-I, Flumen-A.
+func RunBenchmark(benchmark, topology string, cfg Config) (Result, error) {
+	w, err := workload.ByName(benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	kind, err := parseTopology(topology)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runWorkload(w, kind, cfg), nil
+}
+
+// RunWorkload executes an arbitrary (e.g. scaled) workload; it powers the
+// internal benches and the cmd tools.
+func RunWorkload(w workload.Workload, topology string, cfg Config) (Result, error) {
+	kind, err := parseTopology(topology)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return runWorkload(w, kind, cfg), nil
+}
+
+func parseTopology(name string) (core.TopologyKind, error) {
+	for _, k := range core.AllTopologies() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("flumen: unknown topology %q (want one of %v)", name, Topologies())
+}
+
+func runWorkload(w workload.Workload, kind core.TopologyKind, cfg Config) Result {
+	ep := energy.Default()
+	np := core.DefaultNetworkParams()
+	np.Nodes = cfg.Chiplets
+	if cfg.Wavelengths > 0 {
+		// 10 Gbps per wavelength at a 2.5 GHz system clock = 4 bits/cycle/λ.
+		np.MZIMWidthBits = cfg.Wavelengths * 4
+		np.BusWidthBits = cfg.Wavelengths * 4
+	}
+
+	ccfg := chip.DefaultConfig()
+	ccfg.Cores = cfg.Cores
+	ccfg.Chiplets = cfg.Chiplets
+	ccfg.UtilWindow = cfg.UtilWindow
+
+	net := core.BuildNetwork(kind, np)
+	sys := chip.NewSystem(ccfg, net)
+
+	var cu *core.ControlUnit
+	var streams []chip.Stream
+	if kind == core.TopoFlumenA {
+		mz, ok := net.(*noc.MZIMNet)
+		if !ok {
+			panic("flumen: Flumen-A requires the MZIM network")
+		}
+		sp := core.DefaultSchedulerParams()
+		sp.Tau = cfg.Tau
+		sp.Eta = cfg.Eta
+		sp.Zeta = cfg.Zeta
+		sp.MaxComputePorts = cfg.MaxComputePorts
+		sp.ComputeLambdas = cfg.ComputeLambdas
+		if cfg.DisableProgramPipelining {
+			sp.PipelinedProgramCycles = sp.ComputeProgramCycles
+		}
+		cu = core.NewControlUnit(sys, mz, sp, ep)
+		streams = w.OffloadStreams(cfg.Cores, cfg.ComputeBlock, cfg.ComputeLambdas)
+	} else {
+		streams = w.DigitalStreams(cfg.Cores)
+	}
+	for i, s := range streams {
+		sys.SetStream(i, s)
+	}
+	st := sys.Run()
+
+	seconds := float64(st.Cycles) / (ep.CoreClockGHz * 1e9)
+	var computePJ float64
+	res := Result{
+		Benchmark:          w.Name(),
+		Topology:           kind.String(),
+		Cycles:             st.Cycles,
+		Seconds:            seconds,
+		AvgLinkUtilization: st.Net.LinkUtilization(st.Cycles),
+		UtilizationTrace:   sys.UtilizationSamples(),
+		OffloadsRequested:  st.OffloadsRequested,
+		OffloadsGranted:    st.OffloadsAccepted,
+		DRAMAccesses:       st.DRAMAccesses,
+		MACsOnCores:        st.MACs,
+	}
+	if cu != nil {
+		cs := cu.Stats()
+		computePJ = cs.ComputePJ
+		res.Reprograms = cs.Reprograms
+		res.TagReuses = cs.TagReuses
+		res.ComputePJ = cs.ComputePJ
+	}
+	res.Energy = EnergyBreakdown{
+		CorePJ: float64(st.ActiveCycles)*ep.CoreActiveCyclePJ + float64(st.StallCycles)*ep.CoreIdleCyclePJ,
+		L1iPJ:  float64(st.L1iAccesses) * ep.L1AccessPJ,
+		L1dPJ:  float64(st.L1dAccesses) * ep.L1AccessPJ,
+		L2PJ:   float64(st.L2Accesses) * ep.L2AccessPJ,
+		L3PJ:   float64(st.L3Accesses) * ep.L3AccessPJ,
+		DRAMPJ: float64(st.DRAMAccesses) * ep.DRAMAccessPJ,
+		NoPPJ:  core.NoPEnergyPJ(kind, st.Net, seconds, cfg.Chiplets, ep, computePJ),
+	}
+	res.EDPJouleSeconds = energy.EDP(res.Energy.TotalPJ(), seconds)
+	return res
+}

@@ -1,0 +1,3 @@
+module flumen
+
+go 1.22

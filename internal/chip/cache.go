@@ -1,0 +1,116 @@
+// Package chip is the mechanistic multicore model standing in for the
+// Sniper full-system simulator: 64 out-of-order cores on 16 four-core
+// chiplets, private L1/L2 caches, chiplet-shared L3 slices, DRAM behind
+// memory-controller chiplets, and a pluggable NoP (internal/noc) carrying
+// the L2-miss and DRAM traffic. Cores execute abstract op streams produced
+// by internal/workload; every cache/DRAM/network event is counted for the
+// energy model.
+package chip
+
+import "fmt"
+
+// Cache is a set-associative write-back cache with LRU replacement,
+// tracked at cache-line granularity.
+type Cache struct {
+	sets     int
+	ways     int
+	lineBits uint
+	// tags[set][way]; valid when != 0 (tag stores line address + 1).
+	tags [][]uint64
+	// lruTick[set][way]: larger is more recent.
+	lruTick [][]int64
+	tick    int64
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache of the given capacity in bytes, associativity,
+// and line size (power of two).
+func NewCache(capacityBytes, ways, lineBytes int) *Cache {
+	if capacityBytes <= 0 || ways <= 0 || lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("chip: invalid cache geometry cap=%d ways=%d line=%d", capacityBytes, ways, lineBytes))
+	}
+	lines := capacityBytes / lineBytes
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{sets: sets, ways: ways}
+	for lb := lineBytes; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	c.tags = make([][]uint64, sets)
+	c.lruTick = make([][]int64, sets)
+	for s := range c.tags {
+		c.tags[s] = make([]uint64, ways)
+		c.lruTick[s] = make([]int64, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Access looks up the line containing addr, inserting it on a miss
+// (evicting LRU). It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.tick++
+	line := addr >> c.lineBits
+	set := int(line % uint64(c.sets))
+	key := line + 1
+	for w, t := range c.tags[set] {
+		if t == key {
+			c.lruTick[set][w] = c.tick
+			return true
+		}
+	}
+	c.Misses++
+	// Evict LRU way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lruTick[set][w] < c.lruTick[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = key
+	c.lruTick[set][victim] = c.tick
+	return false
+}
+
+// Probe reports whether the line containing addr is present without
+// updating state or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line % uint64(c.sets))
+	key := line + 1
+	for _, t := range c.tags[set] {
+		if t == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.tags[s][w] = 0
+			c.lruTick[s][w] = 0
+		}
+	}
+	c.tick, c.Accesses, c.Misses = 0, 0, 0
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

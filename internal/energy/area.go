@@ -1,0 +1,64 @@
+package energy
+
+// Area model (Sec 5.1). The paper reports component areas from McPAT scaled
+// to 7 nm plus photonic layout estimates; we encode those anchors directly
+// and expose the scaling law used for the 64×64 MZIM projection. MZI pitch
+// is derived from the paper's 8×8 mesh area: a Flumen 8×8 MZIM occupies
+// 5.04 mm² with 8·7/2 + 8 = 36 MZIs ≈ 0.14 mm² per device site
+// (interferometer arms plus phase-shifter pads and routing).
+type AreaModel struct {
+	EndpointMM2         float64 // per-endpoint logic + transceiver
+	TransceiverFraction float64 // photonic transceiver share of the endpoint
+	MZISiteMM2          float64 // per-MZI layout area in the interposer
+	ControllerMM2       float64 // MZIM control unit
+	ChipletMM2          float64 // one 4-core chiplet
+	MeshNoPMM2Per16     float64 // electrical mesh NoP area for a 16-chiplet system
+}
+
+// DefaultArea returns the Sec 5.1 anchored model.
+func DefaultArea() AreaModel {
+	return AreaModel{
+		EndpointMM2:         9.46,
+		TransceiverFraction: 0.042,
+		MZISiteMM2:          5.04 / 36,
+		ControllerMM2:       11.2 - 5.04,
+		// The paper quotes the mesh system at "114.9 mm²" but its own
+		// deltas (Flumen "17.7 mm² larger", a "12.2% relative increase"
+		// against Flumen's 162.6 mm² total) only reconcile with a
+		// 144.9 mm² mesh system; we anchor to the self-consistent value.
+		ChipletMM2:      151.36 / 16,
+		MeshNoPMM2Per16: 144.9,
+	}
+}
+
+// FlumenMZIMCount returns the device count of an N-input Flumen mesh:
+// N(N-1)/2 mesh MZIs plus N attenuators.
+func FlumenMZIMCount(n int) int { return n*(n-1)/2 + n }
+
+// MZIMAreaMM2 returns the interposer area of an N-input Flumen MZIM.
+func (a AreaModel) MZIMAreaMM2(n int) float64 {
+	return float64(FlumenMZIMCount(n)) * a.MZISiteMM2
+}
+
+// FlumenInterposerMM2 returns MZIM plus controller area.
+func (a AreaModel) FlumenInterposerMM2(n int) float64 {
+	return a.MZIMAreaMM2(n) + a.ControllerMM2
+}
+
+// ChipletsAreaMM2 returns the silicon area of the given chiplet count.
+func (a AreaModel) ChipletsAreaMM2(chiplets int) float64 {
+	return float64(chiplets) * a.ChipletMM2
+}
+
+// FlumenSystemMM2 returns total area for a chiplet count with an n-input
+// Flumen mesh: chiplets plus the interposer photonics.
+func (a AreaModel) FlumenSystemMM2(chiplets, n int) float64 {
+	return a.ChipletsAreaMM2(chiplets) + a.FlumenInterposerMM2(n)
+}
+
+// MeshSystemMM2 returns total area for a chiplet count with an electrical
+// mesh NoP, anchored to the self-consistent 144.9 mm² for 16 chiplets (see
+// DefaultArea).
+func (a AreaModel) MeshSystemMM2(chiplets int) float64 {
+	return float64(chiplets) * a.MeshNoPMM2Per16 / 16
+}

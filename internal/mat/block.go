@@ -1,0 +1,107 @@
+package mat
+
+// This file implements the zero-padding and block-partition machinery of
+// Eq. (2) and Eq. (3) in the Flumen paper: an arbitrary n×m matrix M is
+// zero-padded to the nearest multiple of the mesh size N along both
+// dimensions and divided into N×N sub-blocks; each sub-block is executed as
+// one photonic matrix multiplication, and chiplets accumulate the partial
+// sums.
+
+// PadTo returns a copy of m zero-padded so both dimensions are multiples
+// of n (Eq. 2). Matrices already aligned are copied unchanged.
+func PadTo(m *Dense, n int) *Dense {
+	if n <= 0 {
+		panic("mat: PadTo requires positive block size")
+	}
+	pr := ceilMultiple(m.rows, n)
+	pc := ceilMultiple(m.cols, n)
+	out := New(pr, pc)
+	for i := 0; i < m.rows; i++ {
+		copy(out.data[i*pc:i*pc+m.cols], m.data[i*m.cols:(i+1)*m.cols])
+	}
+	return out
+}
+
+// PadVec zero-pads x to the nearest multiple of n.
+func PadVec(x []complex128, n int) []complex128 {
+	p := ceilMultiple(len(x), n)
+	out := make([]complex128, p)
+	copy(out, x)
+	return out
+}
+
+func ceilMultiple(x, n int) int {
+	if x%n == 0 {
+		return x
+	}
+	return (x/n + 1) * n
+}
+
+// Block extracts the n×n sub-block at block-row bi, block-col bj of a
+// matrix whose dimensions are multiples of n.
+func Block(m *Dense, n, bi, bj int) *Dense {
+	if m.rows%n != 0 || m.cols%n != 0 {
+		panic("mat: Block requires dimensions aligned to the block size")
+	}
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		src := (bi*n+i)*m.cols + bj*n
+		copy(out.data[i*n:(i+1)*n], m.data[src:src+n])
+	}
+	return out
+}
+
+// BlockGrid reports the number of block rows and block columns for matrix m
+// partitioned into n×n blocks (after padding).
+func BlockGrid(m *Dense, n int) (bi, bj int) {
+	return ceilMultiple(m.rows, n) / n, ceilMultiple(m.cols, n) / n
+}
+
+// BlockMatVec computes b = M·a by zero-padding M and a to multiples of n,
+// partitioning M into n×n blocks, invoking mvm for each block-vector
+// product, and accumulating the partial sums (Eq. 3). The mvm callback is
+// the photonic (or reference) N×N matrix-vector engine. The result is
+// truncated back to the true output length.
+func BlockMatVec(m *Dense, a []complex128, n int, mvm func(block *Dense, x []complex128) []complex128) []complex128 {
+	if m.cols != len(a) {
+		panic("mat: BlockMatVec dimension mismatch")
+	}
+	pm := PadTo(m, n)
+	pa := PadVec(a, n)
+	bi := pm.rows / n
+	bj := pm.cols / n
+	out := make([]complex128, pm.rows)
+	for r := 0; r < bi; r++ {
+		for c := 0; c < bj; c++ {
+			blk := Block(pm, n, r, c)
+			seg := pa[c*n : (c+1)*n]
+			part := mvm(blk, seg)
+			for i := 0; i < n; i++ {
+				out[r*n+i] += part[i]
+			}
+		}
+	}
+	return out[:m.rows]
+}
+
+// BlockMatMul computes C = M·A column-by-column through BlockMatVec. Each
+// column of A models one wavelength's input vector in a WDM-parallel
+// photonic matrix-matrix product (Sec 3.3.1).
+func BlockMatMul(m, a *Dense, n int, mvm func(block *Dense, x []complex128) []complex128) *Dense {
+	if m.cols != a.rows {
+		panic("mat: BlockMatMul dimension mismatch")
+	}
+	out := New(m.rows, a.cols)
+	for j := 0; j < a.cols; j++ {
+		col := BlockMatVec(m, a.Col(j), n, mvm)
+		out.SetCol(j, col)
+	}
+	return out
+}
+
+// BlockCount returns the number of N×N block MVM operations required to
+// compute M·a for an n×m matrix with p parallel input vectors, accounting
+// for WDM batching: p vectors share one pass through each block.
+func BlockCount(rows, cols, n int) int {
+	return (ceilMultiple(rows, n) / n) * (ceilMultiple(cols, n) / n)
+}

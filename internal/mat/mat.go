@@ -1,0 +1,345 @@
+// Package mat provides the dense complex linear algebra kernel used by the
+// photonic simulation layers: matrix products, adjoints, QR factorization,
+// a one-sided Jacobi SVD, spectral norms, random unitaries, and the
+// zero-padding / block-partition helpers from Eq. (2)-(3) of the Flumen
+// paper. Everything is built on complex128 and the standard library only.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Dense is a dense, row-major complex matrix.
+type Dense struct {
+	rows, cols int
+	data       []complex128 // len rows*cols, row-major
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]complex128, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]complex128) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: empty row data")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(row), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], row)
+	}
+	return m
+}
+
+// FromReal builds a complex matrix from real-valued row data.
+func FromReal(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: empty row data")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(row), m.cols))
+		}
+		for j, v := range row {
+			m.data[i*m.cols+j] = complex(v, 0)
+		}
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []complex128) *Dense {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) complex128 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v complex128) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []complex128 {
+	out := make([]complex128, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []complex128 {
+	out := make([]complex128, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow overwrites row i.
+func (m *Dense) SetRow(i int, row []complex128) {
+	if len(row) != m.cols {
+		panic("mat: SetRow length mismatch")
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], row)
+}
+
+// SetCol overwrites column j.
+func (m *Dense) SetCol(j int, col []complex128) {
+	if len(col) != m.rows {
+		panic("mat: SetCol length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = col[i]
+	}
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a·x.
+func MulVec(a *Dense, x []complex128) []complex128 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d×%d · %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]complex128, a.rows)
+	for i := 0; i < a.rows; i++ {
+		var s complex128
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Adjoint returns the conjugate transpose a*.
+func (m *Dense) Adjoint() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = cmplx.Conj(m.data[i*m.cols+j])
+		}
+	}
+	return out
+}
+
+// Transpose returns the (non-conjugated) transpose.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Conj returns the element-wise complex conjugate.
+func (m *Dense) Conj() *Dense {
+	out := New(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = cmplx.Conj(v)
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: Add dimension mismatch")
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a-b.
+func Sub(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: Sub dimension mismatch")
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(s complex128, a *Dense) *Dense {
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = s * a.data[i]
+	}
+	return out
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: MaxAbsDiff dimension mismatch")
+	}
+	var max float64
+	for i := range a.data {
+		if d := cmplx.Abs(a.data[i] - b.data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// EqualApprox reports whether all elements of a and b agree within tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// IsUnitary reports whether m*·m ≈ I within tol.
+func (m *Dense) IsUnitary(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	return EqualApprox(Mul(m.Adjoint(), m), Identity(m.rows), tol)
+}
+
+// FrobeniusNorm returns sqrt(sum |a_ij|²).
+func (m *Dense) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max_ij |a_ij|.
+func (m *Dense) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.data {
+		if a := cmplx.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			v := m.data[i*m.cols+j]
+			fmt.Fprintf(&b, " %6.3f%+6.3fi", real(v), imag(v))
+		}
+		b.WriteString(" ]\n")
+	}
+	return b.String()
+}
+
+// VecNorm returns the Euclidean norm of x.
+func VecNorm(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// VecDot returns the inner product x*·y (conjugating x).
+func VecDot(x, y []complex128) complex128 {
+	if len(x) != len(y) {
+		panic("mat: VecDot length mismatch")
+	}
+	var s complex128
+	for i := range x {
+		s += cmplx.Conj(x[i]) * y[i]
+	}
+	return s
+}
+
+// VecMaxAbsDiff returns max_i |x_i - y_i|.
+func VecMaxAbsDiff(x, y []complex128) float64 {
+	if len(x) != len(y) {
+		panic("mat: VecMaxAbsDiff length mismatch")
+	}
+	var max float64
+	for i := range x {
+		if d := cmplx.Abs(x[i] - y[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

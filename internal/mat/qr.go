@@ -1,0 +1,113 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// QR computes a Householder QR factorization a = Q·R with Q unitary (m×m)
+// and R upper triangular (m×n). It is used to orthonormalize random
+// Gaussian matrices into Haar-distributed unitaries and to complete
+// orthonormal bases for rank-deficient SVD factors.
+func QR(a *Dense) (q, r *Dense) {
+	m, n := a.rows, a.cols
+	r = a.Clone()
+	q = Identity(m)
+	for k := 0; k < n && k < m-1; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := r.data[i*n+k]
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		akk := r.data[k*n+k]
+		alpha := complex(-norm, 0)
+		if akk != 0 {
+			alpha = -complex(norm, 0) * akk / complex(cmplx.Abs(akk), 0)
+		}
+		v := make([]complex128, m-k)
+		v[0] = akk - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.data[i*n+k]
+		}
+		var vnorm2 float64
+		for _, x := range v {
+			vnorm2 += real(x)*real(x) + imag(x)*imag(x)
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2 v v*/|v|² to R (rows k..m-1).
+		for j := k; j < n; j++ {
+			var dot complex128
+			for i := 0; i < len(v); i++ {
+				dot += cmplx.Conj(v[i]) * r.data[(k+i)*n+j]
+			}
+			f := 2 * dot / complex(vnorm2, 0)
+			for i := 0; i < len(v); i++ {
+				r.data[(k+i)*n+j] -= f * v[i]
+			}
+		}
+		// Accumulate into Q: Q = Q·H (apply H to columns of Q from the right;
+		// since H is Hermitian, Q·H has columns transformed by H as well).
+		for i := 0; i < m; i++ {
+			var dot complex128
+			for j := 0; j < len(v); j++ {
+				dot += q.data[i*m+k+j] * v[j]
+			}
+			f := 2 * dot / complex(vnorm2, 0)
+			for j := 0; j < len(v); j++ {
+				q.data[i*m+k+j] -= f * cmplx.Conj(v[j])
+			}
+		}
+	}
+	return q, r
+}
+
+// RandomUnitary returns an n×n Haar-random unitary matrix drawn using rng.
+// The construction is QR of a complex Ginibre matrix with the R diagonal
+// phase correction that makes the distribution Haar.
+func RandomUnitary(n int, rng *rand.Rand) *Dense {
+	g := New(n, n)
+	for i := range g.data {
+		g.data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	q, r := QR(g)
+	// Multiply column j of Q by phase(R_jj) so the result is Haar.
+	for j := 0; j < n; j++ {
+		d := r.data[j*n+j]
+		ph := complex(1, 0)
+		if d != 0 {
+			ph = d / complex(cmplx.Abs(d), 0)
+		}
+		for i := 0; i < n; i++ {
+			q.data[i*n+j] *= ph
+		}
+	}
+	return q
+}
+
+// RandomDense returns an r×c matrix with i.i.d. standard complex Gaussian
+// entries.
+func RandomDense(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+// RandomReal returns an r×c matrix with i.i.d. real entries uniform in
+// [-1, 1), as produced by quantized 8-bit workloads after normalization.
+func RandomReal(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = complex(2*rng.Float64()-1, 0)
+	}
+	return m
+}

@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// SVDResult holds a full singular value decomposition a = U·diag(Σ)·V*.
+// U is m×m unitary, V is n×n unitary, and Sigma holds min(m,n)
+// non-negative singular values in descending order.
+type SVDResult struct {
+	U     *Dense
+	Sigma []float64
+	V     *Dense
+}
+
+// svdTol is the relative off-diagonal tolerance at which the one-sided
+// Jacobi sweep is considered converged.
+const svdTol = 1e-14
+
+// SVD computes the full singular value decomposition of a using one-sided
+// Jacobi rotations. The implementation handles arbitrary (including
+// rank-deficient) complex matrices; for m < n it decomposes the adjoint and
+// swaps the factors.
+func SVD(a *Dense) SVDResult {
+	if a.rows < a.cols {
+		r := SVD(a.Adjoint())
+		return SVDResult{U: r.V, Sigma: r.Sigma, V: r.U}
+	}
+	m, n := a.rows, a.cols
+	w := a.Clone()   // working copy; columns converge to U·Σ
+	v := Identity(n) // accumulates right rotations
+	// Columns whose norm falls below nullFloor·‖A‖_F are numerically zero;
+	// they are cleared at sweep boundaries so that rotations never operate
+	// on subnormal noise (where gamma/|gamma| loses unit modulus and would
+	// silently de-unitarize V).
+	fro := a.FrobeniusNorm()
+	nullFloor := 1e-15 * fro
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		for q := 0; q < n; q++ {
+			var norm2 float64
+			for i := 0; i < m; i++ {
+				x := w.data[i*n+q]
+				norm2 += real(x)*real(x) + imag(x)*imag(x)
+			}
+			if norm2 < nullFloor*nullFloor {
+				for i := 0; i < m; i++ {
+					w.data[i*n+q] = 0
+				}
+			}
+		}
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta float64
+				var gamma complex128
+				for i := 0; i < m; i++ {
+					ap := w.data[i*n+p]
+					aq := w.data[i*n+q]
+					alpha += real(ap)*real(ap) + imag(ap)*imag(ap)
+					beta += real(aq)*real(aq) + imag(aq)*imag(aq)
+					gamma += cmplx.Conj(ap) * aq
+				}
+				g := cmplx.Abs(gamma)
+				// sqrt(alpha)·sqrt(beta) avoids underflow of the product.
+				if g == 0 || g <= svdTol*math.Sqrt(alpha)*math.Sqrt(beta) {
+					continue
+				}
+				converged = false
+				// Absorb the phase of gamma into column q so the remaining
+				// rotation is real.
+				phase := gamma / complex(g, 0)
+				// Real Jacobi rotation nulling the (p,q) inner product.
+				tau := (beta - alpha) / (2 * g)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				cc := complex(c, 0)
+				cs := complex(s, 0)
+				conjPhase := cmplx.Conj(phase)
+				for i := 0; i < m; i++ {
+					ap := w.data[i*n+p]
+					aq := w.data[i*n+q] * conjPhase
+					w.data[i*n+p] = cc*ap - cs*aq
+					w.data[i*n+q] = cs*ap + cc*aq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.data[i*n+p]
+					vq := v.data[i*n+q] * conjPhase
+					v.data[i*n+p] = cc*vp - cs*vq
+					v.data[i*n+q] = cs*vp + cc*vq
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+	// Extract singular values and left vectors.
+	type sv struct {
+		sigma float64
+		idx   int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			x := w.data[i*n+j]
+			norm += real(x)*real(x) + imag(x)*imag(x)
+		}
+		svs[j] = sv{sigma: math.Sqrt(norm), idx: j}
+	}
+	sort.SliceStable(svs, func(i, j int) bool { return svs[i].sigma > svs[j].sigma })
+
+	u := New(m, m)
+	sigma := make([]float64, n)
+	vOut := New(n, n)
+	// Scale threshold below which a column is treated as numerically null.
+	maxSigma := svs[0].sigma
+	nullTol := 1e-13 * maxSigma
+	rank := 0
+	for k, e := range svs {
+		sigma[k] = e.sigma
+		for i := 0; i < n; i++ {
+			vOut.data[i*n+k] = v.data[i*n+e.idx]
+		}
+		if e.sigma > nullTol && e.sigma > 0 {
+			inv := complex(1/e.sigma, 0)
+			for i := 0; i < m; i++ {
+				u.data[i*m+k] = w.data[i*n+e.idx] * inv
+			}
+			rank++
+		} else {
+			sigma[k] = 0
+		}
+	}
+	completeBasis(u, rank)
+	return SVDResult{U: u, Sigma: sigma, V: vOut}
+}
+
+// completeBasis fills columns rank..m-1 of the m×m matrix u with an
+// orthonormal completion of the first rank columns (modified Gram-Schmidt
+// against canonical basis candidates).
+func completeBasis(u *Dense, rank int) {
+	m := u.rows
+	col := rank
+	for cand := 0; cand < m && col < m; cand++ {
+		// Start from the canonical basis vector e_cand.
+		vec := make([]complex128, m)
+		vec[cand] = 1
+		// Orthogonalize against all previously established columns, twice
+		// for numerical stability.
+		for pass := 0; pass < 2; pass++ {
+			for j := 0; j < col; j++ {
+				var dot complex128
+				for i := 0; i < m; i++ {
+					dot += cmplx.Conj(u.data[i*m+j]) * vec[i]
+				}
+				for i := 0; i < m; i++ {
+					vec[i] -= dot * u.data[i*m+j]
+				}
+			}
+		}
+		norm := VecNorm(vec)
+		if norm < 1e-7 {
+			continue // candidate was (nearly) in the span; try the next one
+		}
+		inv := complex(1/norm, 0)
+		for i := 0; i < m; i++ {
+			u.data[i*m+col] = vec[i] * inv
+		}
+		col++
+	}
+	if col < m {
+		panic("mat: failed to complete orthonormal basis")
+	}
+}
+
+// SpectralNorm returns the largest singular value of a (its operator
+// 2-norm), used to scale matrices for SVD-mesh implementability (Sec 3.3.1).
+func SpectralNorm(a *Dense) float64 {
+	r := SVD(a)
+	if len(r.Sigma) == 0 {
+		return 0
+	}
+	return r.Sigma[0]
+}
+
+// Reconstruct multiplies the factors of an SVD back together, returning
+// U·diag(Σ)·V* with the dimensions of the original matrix.
+func (r SVDResult) Reconstruct() *Dense {
+	m := r.U.Rows()
+	n := r.V.Rows()
+	k := len(r.Sigma)
+	s := New(m, n)
+	for i := 0; i < k && i < m && i < n; i++ {
+		s.data[i*n+i] = complex(r.Sigma[i], 0)
+	}
+	return Mul(Mul(r.U, s), r.V.Adjoint())
+}

@@ -1,0 +1,183 @@
+package noc
+
+import (
+	"testing"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.MeasureCycles = 4000
+	res := RunSynthetic(NewMesh(4, 4, 320, 4), Uniform(16), 0.02, cfg)
+	if res.P50Latency <= 0 || res.P99Latency <= 0 {
+		t.Fatalf("percentiles missing: p50=%d p99=%d", res.P50Latency, res.P99Latency)
+	}
+	if res.P50Latency > res.P99Latency || int64(res.AvgLatency+1) < res.P50Latency/2 {
+		t.Fatalf("percentile ordering broken: avg=%.1f p50=%d p99=%d max=%d",
+			res.AvgLatency, res.P50Latency, res.P99Latency, res.MaxLatency)
+	}
+	if res.P99Latency > res.MaxLatency {
+		t.Fatal("p99 above max")
+	}
+}
+
+func TestOptBusHomeChannelSerializesReceiver(t *testing.T) {
+	// All traffic to one destination must serialize on its home channel
+	// even when many channels are free.
+	net := NewOptBus(8, 4, 256)
+	var pkts []*Packet
+	for s := 1; s < 8; s++ {
+		pkts = append(pkts, &Packet{ID: int64(s), Src: s, Dst: 0, Bits: 2560}) // 10 ser cycles
+	}
+	var last int64
+	net.SetSink(func(p *Packet, now int64) {
+		if now > last {
+			last = now
+		}
+	})
+	for i, p := range pkts {
+		if !net.Inject(p, int64(i)) {
+			t.Fatal("inject failed")
+		}
+	}
+	for c := int64(0); c < 1000; c++ {
+		net.Step(c)
+	}
+	// 7 packets × 10 cycles each on one channel ≥ 70 cycles.
+	if last < 70 {
+		t.Fatalf("receiver-side serialization missing: finished at %d", last)
+	}
+}
+
+func TestOptBusDistinctReceiversUseParallelChannels(t *testing.T) {
+	// Traffic to destinations with distinct home channels proceeds in
+	// parallel.
+	net := NewOptBus(8, 4, 256)
+	var pkts []*Packet
+	for s := 0; s < 4; s++ {
+		pkts = append(pkts, &Packet{ID: int64(s), Src: s, Dst: (s + 4), Bits: 2560})
+	}
+	var last int64
+	net.SetSink(func(p *Packet, now int64) {
+		if now > last {
+			last = now
+		}
+	})
+	for _, p := range pkts {
+		net.Inject(p, 0)
+	}
+	for c := int64(0); c < 200; c++ {
+		net.Step(c)
+	}
+	// Destinations 4,5,6,7 map to channels 0..3: all parallel, so total
+	// ≈ one transmission (10 ser + prop), far below 40.
+	if last == 0 || last > 25 {
+		t.Fatalf("parallel channels not used: finished at %d", last)
+	}
+}
+
+func TestMZIMLookaheadRelievesHOL(t *testing.T) {
+	// With lookahead 1 a blocked head stalls its queue; lookahead 2 lets
+	// the next packet slip past. Construct: src 0 and src 1 both target
+	// dst 2 (conflict); src 0 also has a packet for the free dst 3 behind
+	// its head.
+	run := func(k int) int64 {
+		net := NewMZIM(4, 256, 3)
+		net.SetLookahead(k)
+		var delivered3At int64 = -1
+		net.SetSink(func(p *Packet, now int64) {
+			if p.Dst == 3 {
+				delivered3At = now
+			}
+		})
+		net.Inject(&Packet{ID: 0, Src: 1, Dst: 2, Bits: 25600}, 0) // long transfer holds dst 2
+		net.Step(0)
+		net.Inject(&Packet{ID: 1, Src: 0, Dst: 2, Bits: 640}, 1) // blocked head
+		net.Inject(&Packet{ID: 2, Src: 0, Dst: 3, Bits: 640}, 1) // could go now
+		for c := int64(1); c < 400; c++ {
+			net.Step(c)
+		}
+		return delivered3At
+	}
+	fifo := run(1)
+	look := run(2)
+	if fifo < 0 || look < 0 {
+		t.Fatalf("packets lost: fifo=%d lookahead=%d", fifo, look)
+	}
+	if look >= fifo {
+		t.Fatalf("lookahead did not relieve HOL: dst-3 delivery at %d (k=2) vs %d (k=1)", look, fifo)
+	}
+}
+
+func TestMZIMPipelinedSetupBackToBack(t *testing.T) {
+	// A source streaming many packets pays the 3-cycle setup only once:
+	// subsequent grants hide programming behind the previous transfer.
+	net := NewMZIM(4, 256, 3)
+	var count int
+	var last int64
+	net.SetSink(func(p *Packet, now int64) {
+		count++
+		last = now
+	})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !net.Inject(&Packet{ID: int64(i), Src: 0, Dst: 1 + i%3, Bits: 640}, 0) {
+			// Buffer capacity 16; drive the rest in during stepping.
+			break
+		}
+	}
+	injected := net.Counters().InjectedPackets
+	for c := int64(0); c < 500; c++ {
+		net.Step(c)
+	}
+	if int64(count) != injected {
+		t.Fatalf("delivered %d of %d", count, injected)
+	}
+	// Per packet: 3 ser cycles with setup hidden ⇒ ≈ 3·injected + one
+	// setup; allow generous slack but far below (3+3)·injected.
+	budget := 4*injected + 10
+	if last > budget {
+		t.Fatalf("back-to-back streaming took %d cycles for %d packets (budget %d): setup not pipelined",
+			last, injected, budget)
+	}
+}
+
+func TestShufflePermutationTrafficOnMZIMIsConflictFree(t *testing.T) {
+	// The shuffle pattern is a permutation: on a non-blocking crossbar it
+	// should sustain high load without saturating.
+	cfg := DefaultRunConfig()
+	cfg.MeasureCycles = 4000
+	res := RunSynthetic(NewMZIM(16, 256, 3), Shuffle(16), 0.25, cfg)
+	if res.Saturated {
+		t.Fatalf("permutation traffic saturated the crossbar at 0.25 pkt/node/cycle")
+	}
+	if res.AvgLatency > 20 {
+		t.Fatalf("permutation latency %.1f implausibly high on a crossbar", res.AvgLatency)
+	}
+}
+
+func TestShuffleOnOptBusContendsEarlier(t *testing.T) {
+	// The same permutation on the shared bus must show receiver-channel
+	// contention (two destinations share each home channel).
+	cfg := DefaultRunConfig()
+	cfg.MeasureCycles = 4000
+	cfg.DrainCycles = 6000
+	bus := RunSynthetic(NewOptBus(16, 8, 256), Shuffle(16), 0.25, cfg)
+	mzim := RunSynthetic(NewMZIM(16, 256, 3), Shuffle(16), 0.25, cfg)
+	if !bus.Saturated && bus.AvgLatency <= mzim.AvgLatency {
+		t.Fatalf("bus (%.1f cyc) should contend more than the crossbar (%.1f cyc) on shuffle at high load",
+			bus.AvgLatency, mzim.AvgLatency)
+	}
+}
+
+func TestCountersLinkUtilizationBounds(t *testing.T) {
+	c := Counters{LinkBusyCycles: 50, LinkCount: 10}
+	if u := c.LinkUtilization(10); u != 0.5 {
+		t.Fatalf("utilization %g", u)
+	}
+	if u := c.LinkUtilization(0); u != 0 {
+		t.Fatalf("zero-cycle utilization %g", u)
+	}
+	if u := (Counters{}).LinkUtilization(100); u != 0 {
+		t.Fatalf("empty counters utilization %g", u)
+	}
+}

@@ -1,0 +1,54 @@
+package noc
+
+// WavefrontArbiter computes maximal matchings for an N×N crossbar request
+// matrix, as used by the MZIM control unit (Sec 3.4). Requests are examined
+// in diagonal wavefronts; cells on one wavefront are mutually
+// conflict-free, so all grantable requests on a wavefront are granted in
+// parallel. A rotating priority pointer shifts the starting diagonal each
+// invocation for fairness.
+type WavefrontArbiter struct {
+	n        int
+	priority int
+}
+
+// NewWavefrontArbiter returns an arbiter for an n×n request matrix.
+func NewWavefrontArbiter(n int) *WavefrontArbiter {
+	if n < 1 {
+		panic("noc: arbiter size must be positive")
+	}
+	return &WavefrontArbiter{n: n}
+}
+
+// Arbitrate returns grants[src] = dst (or -1) for the given request matrix,
+// honoring pre-existing row/column business: busyRow[s] true means source s
+// cannot be granted; busyCol[d] likewise for destinations. req[s][d] must
+// be true for a grant to be considered. The priority diagonal rotates on
+// every call.
+func (a *WavefrontArbiter) Arbitrate(req [][]bool, busyRow, busyCol []bool) []int {
+	if len(req) != a.n {
+		panic("noc: request matrix size mismatch")
+	}
+	grants := make([]int, a.n)
+	for i := range grants {
+		grants[i] = -1
+	}
+	rowFree := make([]bool, a.n)
+	colFree := make([]bool, a.n)
+	for i := 0; i < a.n; i++ {
+		rowFree[i] = busyRow == nil || !busyRow[i]
+		colFree[i] = busyCol == nil || !busyCol[i]
+	}
+	for wave := 0; wave < a.n; wave++ {
+		d := (a.priority + wave) % a.n
+		for s := 0; s < a.n; s++ {
+			t := (s + d) % a.n
+			if rowFree[s] && colFree[t] && req[s][t] {
+				grants[s] = t
+				rowFree[s] = false
+				colFree[t] = false
+			}
+		}
+	}
+	a.priority = (a.priority + 1) % a.n
+	return grants
+}

@@ -1,0 +1,69 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWDMLinkBudgetReproducesTable1(t *testing.T) {
+	// The Table 1 photonic link: 64 λ at 10 Gbps over ~1 cm of waveguide
+	// should come out near the quoted 0.703 pJ/bit when built from the
+	// Table 2 devices.
+	d := DefaultDevices()
+	b := WDMLinkBudget(d, 64, 10, 1)
+	total := b.TotalPJPerBit()
+	if total < 0.55 || total > 0.85 {
+		t.Fatalf("64-λ link budget %.3f pJ/bit, want ≈0.703 (components %+v)", total, b)
+	}
+}
+
+func TestWDMLinkBudgetComponentsPositive(t *testing.T) {
+	b := WDMLinkBudget(DefaultDevices(), 64, 10, 1)
+	for name, v := range map[string]float64{
+		"modulator": b.ModulatorPJ, "driver": b.DriverPJ, "thermal": b.ThermalPJ,
+		"tia": b.TIAPJ, "serdes": b.SerDesPJ, "laser": b.LaserPJ,
+	} {
+		if v <= 0 {
+			t.Errorf("%s component non-positive: %g", name, v)
+		}
+	}
+}
+
+func TestWDMLinkLaserShareGrowsWithWavelengths(t *testing.T) {
+	// More wavelengths → more thru-port passes → exponentially more laser
+	// power per wavelength.
+	d := DefaultDevices()
+	b16 := WDMLinkBudget(d, 16, 10, 1)
+	b64 := WDMLinkBudget(d, 64, 10, 1)
+	if b64.LaserPJ <= b16.LaserPJ {
+		t.Fatalf("laser share did not grow: %g (64λ) vs %g (16λ)", b64.LaserPJ, b16.LaserPJ)
+	}
+	// Electrical-style components are per-λ constants.
+	if math.Abs(b64.ModulatorPJ-b16.ModulatorPJ) > 1e-12 {
+		t.Fatal("modulator energy should not depend on λ count")
+	}
+}
+
+func TestElecLinkEnergyScalesWithLength(t *testing.T) {
+	l := DefaultLink()
+	ref := ElecLinkEnergyPJPerBit(l, 10, 10)
+	if math.Abs(ref-1.17) > 1e-12 {
+		t.Fatalf("reference-length energy %g, want 1.17", ref)
+	}
+	if e := ElecLinkEnergyPJPerBit(l, 20, 10); math.Abs(e-2.34) > 1e-12 {
+		t.Fatalf("2× length should double energy, got %g", e)
+	}
+	if e := ElecLinkEnergyPJPerBit(l, 10, 0); math.Abs(e-11.7) > 1e-9 {
+		t.Fatalf("zero reference must default sanely, got %g", e)
+	}
+}
+
+func TestWDMLinkModulationRateTradeoff(t *testing.T) {
+	// Doubling per-λ modulation rate halves the static per-bit shares.
+	d := DefaultDevices()
+	b10 := WDMLinkBudget(d, 64, 10, 1)
+	b20 := WDMLinkBudget(d, 64, 20, 1)
+	if math.Abs(b20.DriverPJ*2-b10.DriverPJ) > 1e-12 {
+		t.Fatalf("driver energy not inversely proportional to rate: %g vs %g", b20.DriverPJ, b10.DriverPJ)
+	}
+}

@@ -1,0 +1,269 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"flumen/internal/mat"
+)
+
+// This file implements the Clements rectangular decomposition (Clements et
+// al., Optica 2016; referenced as [10] in the paper): any N×N unitary U is
+// factored into N(N-1)/2 MZI transfer matrices arranged in the rectangular
+// lattice of Mesh, plus an output phase screen. The construction nulls the
+// lower triangle of U along anti-diagonals, alternating column operations
+// (physical MZIs on the input side) and row operations (which are commuted
+// through the residual diagonal to become output-side MZIs).
+
+// placedOp is an MZI operation acting on wires (Mode, Mode+1), listed in
+// physical application order (first op touches the input fields first).
+type placedOp struct {
+	Mode int
+	MZI  MZI
+}
+
+// Decompose factors the unitary u into a physically ordered list of MZI
+// operations and an output phase screen d (unit-modulus diagonal), such
+// that u = diag(d) · T_last ··· T_first. It panics if u is not square and
+// returns an error if u is not unitary within tolerance.
+func Decompose(u *mat.Dense) ([]placedOp, []complex128, error) {
+	n := u.Rows()
+	if u.Cols() != n {
+		return nil, nil, fmt.Errorf("photonic: Decompose requires a square matrix, got %d×%d", n, u.Cols())
+	}
+	if !u.IsUnitary(1e-8) {
+		return nil, nil, fmt.Errorf("photonic: Decompose input is not unitary (‖U*U−I‖ = %g)",
+			mat.MaxAbsDiff(mat.Mul(u.Adjoint(), u), mat.Identity(n)))
+	}
+	w := u.Clone()
+	var rightOps []placedOp // applied to the input first, in order
+	var leftOps []placedOp  // row operations, recorded in application order
+
+	for i := 0; i <= n-2; i++ {
+		if i%2 == 0 {
+			// Null elements along the anti-diagonal from the bottom-left
+			// corner upward using column operations: w ← w · T†.
+			for j := 0; j <= i; j++ {
+				r := n - 1 - j
+				c := i - j
+				theta, phi := solveRightNull(w, r, c)
+				z := MZI{Theta: theta, Phi: phi}
+				applyRightAdjoint(w, c, z)
+				rightOps = append(rightOps, placedOp{Mode: c, MZI: z})
+			}
+		} else {
+			// Null the anti-diagonal in the reverse order (leftmost element
+			// first) using row operations: w ← T·w. The reversed order keeps
+			// previously nulled elements null.
+			for j := i; j >= 0; j-- {
+				r := n - 1 - j
+				c := i - j
+				theta, phi := solveLeftNull(w, r, c)
+				z := MZI{Theta: theta, Phi: phi}
+				applyLeft(w, r-1, z)
+				leftOps = append(leftOps, placedOp{Mode: r - 1, MZI: z})
+			}
+		}
+	}
+	// w should now be diagonal with unit-modulus entries.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && cmplx.Abs(w.At(a, b)) > 1e-7 {
+				return nil, nil, fmt.Errorf("photonic: Clements nulling left residual %g at (%d,%d)",
+					cmplx.Abs(w.At(a, b)), a, b)
+			}
+		}
+	}
+	d := make([]complex128, n)
+	for a := 0; a < n; a++ {
+		v := w.At(a, a)
+		// Renormalize to unit modulus to suppress numerical drift.
+		d[a] = v / complex(cmplx.Abs(v), 0)
+	}
+
+	// We now have  L_p ··· L_1 · U · T†_{R1} ··· T†_{Rq} = D, i.e.
+	//   U = L_1† ··· L_p† · D · T_{Rq} ··· T_{R1}.
+	// Physically the R ops act on the input side in recorded order. Each
+	// L_k† must be commuted through the diagonal: L_k†·D' = D''·T'_k, moving
+	// the diagonal outward. Processing k = p..1 yields
+	//   U = D_final · T'_1 ··· T'_p · T_{Rq} ··· T_{R1},
+	// so the physical order is rightOps, then leftOps reversed (T'_p first).
+	physical := make([]placedOp, 0, len(rightOps)+len(leftOps))
+	physical = append(physical, rightOps...)
+	commuted := make([]placedOp, 0, len(leftOps))
+	for k := len(leftOps) - 1; k >= 0; k-- {
+		op := leftOps[k]
+		m := op.Mode
+		newD1, newD2, z := commuteThroughDiagonal(op.MZI, d[m], d[m+1])
+		d[m], d[m+1] = newD1, newD2
+		commuted = append(commuted, placedOp{Mode: m, MZI: z})
+	}
+	physical = append(physical, commuted...)
+	return physical, d, nil
+}
+
+// solveRightNull finds θ, φ such that (w·T†)[r][c] = 0 for T acting on
+// columns (c, c+1).
+func solveRightNull(w *mat.Dense, r, c int) (theta, phi float64) {
+	a := w.At(r, c)
+	b := w.At(r, c+1)
+	// Null condition: e^{-jφ}·sin(θ/2)·a + cos(θ/2)·b = 0.
+	theta = 2 * math.Atan2(cmplx.Abs(b), cmplx.Abs(a))
+	if cmplx.Abs(a) > 0 && cmplx.Abs(b) > 0 {
+		phi = math.Pi + cmplx.Phase(a) - cmplx.Phase(b)
+	}
+	return normalizePhases(theta, phi)
+}
+
+// solveLeftNull finds θ, φ such that (T·w)[r][c] = 0 for T acting on rows
+// (r-1, r).
+func solveLeftNull(w *mat.Dense, r, c int) (theta, phi float64) {
+	a := w.At(r-1, c)
+	b := w.At(r, c)
+	// Null condition: e^{jφ}·cos(θ/2)·a − sin(θ/2)·b = 0.
+	theta = 2 * math.Atan2(cmplx.Abs(a), cmplx.Abs(b))
+	if cmplx.Abs(a) > 0 && cmplx.Abs(b) > 0 {
+		phi = cmplx.Phase(b) - cmplx.Phase(a)
+	}
+	return normalizePhases(theta, phi)
+}
+
+// applyRightAdjoint computes w ← w · T†(z) with T acting on columns
+// (c, c+1).
+func applyRightAdjoint(w *mat.Dense, c int, z MZI) {
+	t := z.Transfer()
+	// T†[k][l] = conj(T[l][k]).
+	for i := 0; i < w.Rows(); i++ {
+		a := w.At(i, c)
+		b := w.At(i, c+1)
+		w.Set(i, c, a*cmplx.Conj(t[0][0])+b*cmplx.Conj(t[0][1]))
+		w.Set(i, c+1, a*cmplx.Conj(t[1][0])+b*cmplx.Conj(t[1][1]))
+	}
+}
+
+// applyLeft computes w ← T(z)·w with T acting on rows (m, m+1).
+func applyLeft(w *mat.Dense, m int, z MZI) {
+	t := z.Transfer()
+	for j := 0; j < w.Cols(); j++ {
+		a := w.At(m, j)
+		b := w.At(m+1, j)
+		w.Set(m, j, t[0][0]*a+t[0][1]*b)
+		w.Set(m+1, j, t[1][0]*a+t[1][1]*b)
+	}
+}
+
+// commuteThroughDiagonal solves T(θ,φ)† · diag(d1,d2) = diag(d1',d2') ·
+// T(θ',φ'), returning the new diagonal entries and MZI parameters. This is
+// the Clements identity that moves output-side row operations through the
+// residual phase screen.
+func commuteThroughDiagonal(z MZI, d1, d2 complex128) (nd1, nd2 complex128, out MZI) {
+	t := z.Transfer()
+	// A = T† · diag(d1, d2)
+	return solveDiagT(
+		cmplx.Conj(t[0][0])*d1, cmplx.Conj(t[1][0])*d2,
+		cmplx.Conj(t[0][1])*d1, cmplx.Conj(t[1][1])*d2,
+	)
+}
+
+// solveDiagT factors an arbitrary 2×2 unitary A as diag(q1,q2)·T(θ',φ').
+// Both sides have four real parameters, so the factorization always exists:
+//
+//	A00 = q1·g·e^{jφ'}·s',  A01 = q1·g·c',
+//	A10 = q2·g·e^{jφ'}·c',  A11 = -q2·g·s',   g = j·e^{-jθ'/2}.
+func solveDiagT(a00, a01, a10, a11 complex128) (q1, q2 complex128, out MZI) {
+	sp := cmplx.Abs(a00)
+	cp := cmplx.Abs(a01)
+	thetaP := 2 * math.Atan2(sp, cp)
+	var phiP float64
+	if sp > 1e-12 && cp > 1e-12 {
+		// φ' = arg(A00) − arg(A01): the q1·g factors cancel.
+		phiP = cmplx.Phase(a00) - cmplx.Phase(a01)
+	}
+	thetaP, phiP = normalizePhases(thetaP, phiP)
+	out = MZI{Theta: thetaP, Phi: phiP}
+	tp := out.Transfer()
+	// Recover q1 from the larger first-row entry, q2 likewise.
+	if cp >= sp {
+		q1 = a01 / tp[0][1]
+	} else {
+		q1 = a00 / tp[0][0]
+	}
+	if cmplx.Abs(a11) >= cmplx.Abs(a10) {
+		q2 = a11 / tp[1][1]
+	} else {
+		q2 = a10 / tp[1][0]
+	}
+	// Renormalize to unit modulus.
+	q1 /= complex(cmplx.Abs(q1), 0)
+	q2 /= complex(cmplx.Abs(q2), 0)
+	return q1, q2, out
+}
+
+// ProgramUnitary programs the mesh to implement the unitary u exactly (up
+// to numerical precision) using the Clements decomposition. It panics if u
+// has the wrong dimension or is not unitary.
+func (m *Mesh) ProgramUnitary(u *mat.Dense) {
+	if u.Rows() != m.n {
+		panic(fmt.Sprintf("photonic: ProgramUnitary size %d, mesh is %d", u.Rows(), m.n))
+	}
+	ops, d, err := Decompose(u)
+	if err != nil {
+		panic(err)
+	}
+	if err := m.placeOps(ops, 0, 0, m.depth); err != nil {
+		panic(err)
+	}
+	for i, p := range d {
+		m.outPhase[i] = p
+	}
+}
+
+// assignSlots packs a physically ordered op list for a size-input mesh into
+// the rectangular lattice of `size` columns using greedy frontier packing.
+// Keys are {relativeColumn, relativeTopWire}, where slots exist when the two
+// indices share parity. Ops on disjoint wire pairs commute, so any placement
+// preserving the relative order of overlapping pairs implements the same
+// unitary; the greedy frontier preserves that order and packs a
+// Clements-ordered list into exactly `size` columns, filling every slot.
+func assignSlots(ops []placedOp, size int) (map[[2]int]MZI, error) {
+	frontier := make([]int, size) // next free column index per wire
+	slots := make(map[[2]int]MZI, len(ops))
+	for _, op := range ops {
+		w := op.Mode
+		c := frontier[w]
+		if frontier[w+1] > c {
+			c = frontier[w+1]
+		}
+		if (c % 2) != (w % 2) {
+			c++
+		}
+		if c >= size {
+			return nil, fmt.Errorf("photonic: op on wires (%d,%d) does not fit in %d columns", w, w+1, size)
+		}
+		slots[[2]int{c, w}] = op.MZI
+		frontier[w] = c + 1
+		frontier[w+1] = c + 1
+	}
+	if len(slots) != size*(size-1)/2 {
+		return nil, fmt.Errorf("photonic: placement filled %d of %d slots", len(slots), size*(size-1)/2)
+	}
+	return slots, nil
+}
+
+// placeOps assigns a physically ordered op list to the mesh slots in
+// columns [c0, c0+width) and wires [wireLo, wireLo+width).
+func (m *Mesh) placeOps(ops []placedOp, wireLo, c0, width int) error {
+	slots, err := assignSlots(ops, width)
+	if err != nil {
+		return err
+	}
+	for key, z := range slots {
+		c, w := c0+key[0], wireLo+key[1]
+		if !m.HasSlot(c, w) {
+			return fmt.Errorf("photonic: no slot at column %d wire %d", c, w)
+		}
+		*m.cols[c][w] = z
+	}
+	return nil
+}

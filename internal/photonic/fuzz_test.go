@@ -1,0 +1,79 @@
+package photonic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flumen/internal/mat"
+)
+
+// Fuzz targets: seedable entry points exercising the decomposition and
+// routing invariants on arbitrary inputs. They run their seed corpus under
+// plain `go test` and support `go test -fuzz` for extended exploration.
+
+func FuzzClementsReconstruction(f *testing.F) {
+	for _, seed := range []int64{1, 42, 1234, -7} {
+		f.Add(seed, uint8(8))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := 2 + int(nRaw)%11
+		rng := rand.New(rand.NewSource(seed))
+		u := mat.RandomUnitary(n, rng)
+		m := NewMesh(n)
+		m.ProgramUnitary(u)
+		if d := mat.MaxAbsDiff(m.Matrix(), u); d > 1e-8 {
+			t.Fatalf("n=%d seed=%d: reconstruction error %g", n, seed, d)
+		}
+	})
+}
+
+func FuzzPartitionProgram(f *testing.F) {
+	for _, seed := range []int64{3, 99, -12} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := []int{2, 4, 6, 8}
+		size := sizes[rng.Intn(len(sizes))]
+		loMax := (16 - size) / 2
+		lo := 2 * rng.Intn(loMax+1)
+		fm := NewFlumenMesh(16)
+		p, err := fm.NewPartition(lo, size)
+		if err != nil {
+			t.Fatalf("partition (%d,%d): %v", lo, size, err)
+		}
+		a := mat.RandomDense(size, size, rng)
+		if err := p.ProgramScaled(a); err != nil {
+			t.Fatalf("program: %v", err)
+		}
+		got := mat.Scale(complex(p.Scale, 0), p.Matrix())
+		if p.Scale == 0 {
+			return
+		}
+		if d := mat.MaxAbsDiff(got, a); d > 1e-7*math.Max(1, p.Scale) {
+			t.Fatalf("partition (%d,%d) seed=%d: error %g", lo, size, seed, d)
+		}
+	})
+}
+
+func FuzzRoutePermutation(f *testing.F) {
+	for _, seed := range []int64{5, 17, -3} {
+		f.Add(seed, uint8(16))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := 2 * (1 + int(nRaw)%12)
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMesh(n)
+		perm := rng.Perm(n)
+		m.RoutePermutation(perm)
+		for src := 0; src < n; src++ {
+			in := make([]complex128, n)
+			in[src] = 1
+			out := m.Forward(in)
+			if math.Abs(cAbs2(out[perm[src]])-1) > 1e-9 {
+				t.Fatalf("n=%d seed=%d: src %d power %g at dest", n, seed, src, cAbs2(out[perm[src]]))
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package photonic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flumen/internal/mat"
+)
+
+func TestImperfectTransferReducesToEq1(t *testing.T) {
+	// With ideal 50:50 couplers the device-level construction must equal
+	// the Eq. 1 transfer matrix exactly.
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 50; trial++ {
+		z := MZI{Theta: rng.Float64() * math.Pi, Phi: rng.Float64() * 2 * math.Pi}
+		ideal := z.Transfer()
+		built := imperfectTransfer(z, 0.5, 0.5)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				d := ideal[i][j] - built[i][j]
+				if real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+					t.Fatalf("device construction diverges from Eq.1 at (%d,%d): %v vs %v",
+						i, j, built[i][j], ideal[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestImperfectTransferStaysUnitary(t *testing.T) {
+	// Coupler imbalance redistributes power but is lossless.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		z := MZI{Theta: rng.Float64() * math.Pi, Phi: rng.Float64() * 2 * math.Pi}
+		tr := imperfectTransfer(z, 0.3+0.4*rng.Float64(), 0.3+0.4*rng.Float64())
+		r0 := cAbs2(tr[0][0]) + cAbs2(tr[0][1])
+		r1 := cAbs2(tr[1][0]) + cAbs2(tr[1][1])
+		if math.Abs(r0-1) > 1e-12 || math.Abs(r1-1) > 1e-12 {
+			t.Fatalf("imperfect transfer not unitary: rows %g, %g", r0, r1)
+		}
+	}
+}
+
+func TestFabricationErrorsDegradeOpenLoopProgramming(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	u := mat.RandomUnitary(8, rng)
+	m := NewMesh(8)
+	m.ProgramUnitary(u)
+	if d := mat.MaxAbsDiff(m.Matrix(), u); d > 1e-9 {
+		t.Fatalf("ideal mesh error %g", d)
+	}
+	n := m.SetFabricationErrors(0.02, rng)
+	if n != 28 {
+		t.Fatalf("errors assigned to %d devices, want 28", n)
+	}
+	d := mat.MaxAbsDiff(m.Matrix(), u)
+	if d < 1e-4 {
+		t.Fatalf("coupler imbalance should visibly degrade fidelity, error %g", d)
+	}
+	// Clearing restores the ideal device model.
+	m.SetFabricationErrors(0, rng)
+	if d := mat.MaxAbsDiff(m.Matrix(), u); d > 1e-9 {
+		t.Fatalf("clearing errors did not restore fidelity: %g", d)
+	}
+}
+
+func TestFabricationErrorsPreserveUnitarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := NewMesh(6)
+	m.ProgramUnitary(mat.RandomUnitary(6, rng))
+	m.SetFabricationErrors(0.05, rng)
+	if !m.Matrix().IsUnitary(1e-10) {
+		t.Fatal("imperfect mesh lost unitarity (couplers are lossless)")
+	}
+}
+
+func TestInSituOptimizeRecoversFidelity(t *testing.T) {
+	// The headline of the in-situ optimization literature the paper cites:
+	// measurement-driven tuning recovers most of the fidelity that
+	// open-loop programming loses to coupler imbalance.
+	rng := rand.New(rand.NewSource(54))
+	u := mat.RandomUnitary(6, rng)
+	m := NewMesh(6)
+	m.SetFabricationErrors(0.02, rng)
+	m.ProgramUnitary(u) // open loop, blind to the coupler errors
+	before := mat.Sub(m.Matrix(), u).FrobeniusNorm()
+	after := m.InSituOptimize(u, 6)
+	if after >= before/3 {
+		t.Fatalf("in-situ optimization insufficient: %g → %g", before, after)
+	}
+	// The reported error matches an independent measurement.
+	if meas := mat.Sub(m.Matrix(), u).FrobeniusNorm(); math.Abs(meas-after) > 1e-9 {
+		t.Fatalf("reported error %g vs measured %g", after, meas)
+	}
+}
+
+func TestInSituOptimizeOnIdealHardwareIsNearNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	u := mat.RandomUnitary(4, rng)
+	m := NewMesh(4)
+	m.ProgramUnitary(u)
+	after := m.InSituOptimize(u, 2)
+	if after > 1e-6 {
+		t.Fatalf("optimizer worsened a perfect mesh: %g", after)
+	}
+}
+
+func TestInSituOptimizeSizeValidation(t *testing.T) {
+	m := NewMesh(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	m.InSituOptimize(mat.Identity(6), 1)
+}

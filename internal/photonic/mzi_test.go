@@ -1,0 +1,140 @@
+package photonic
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cAbs2(x complex128) float64 { return real(x)*real(x) + imag(x)*imag(x) }
+
+func TestMZITransferIsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		z := MZI{Theta: rng.Float64() * math.Pi, Phi: rng.Float64() * 2 * math.Pi}
+		tr := z.Transfer()
+		// Rows orthonormal.
+		r0 := cAbs2(tr[0][0]) + cAbs2(tr[0][1])
+		r1 := cAbs2(tr[1][0]) + cAbs2(tr[1][1])
+		dot := cmplx.Conj(tr[0][0])*tr[1][0] + cmplx.Conj(tr[0][1])*tr[1][1]
+		if math.Abs(r0-1) > 1e-12 || math.Abs(r1-1) > 1e-12 || cmplx.Abs(dot) > 1e-12 {
+			t.Fatalf("MZI %+v transfer not unitary: |r0|=%g |r1|=%g dot=%g", z, r0, r1, cmplx.Abs(dot))
+		}
+	}
+}
+
+func TestMZICrossState(t *testing.T) {
+	// Cross (θ=0): top input exits at bottom output and vice versa.
+	top, bottom := Cross().Apply(1, 0)
+	if cAbs2(top) > 1e-12 || math.Abs(cAbs2(bottom)-1) > 1e-12 {
+		t.Fatalf("cross state: top input gave |top|²=%g |bottom|²=%g", cAbs2(top), cAbs2(bottom))
+	}
+	top, bottom = Cross().Apply(0, 1)
+	if math.Abs(cAbs2(top)-1) > 1e-12 || cAbs2(bottom) > 1e-12 {
+		t.Fatalf("cross state: bottom input gave |top|²=%g |bottom|²=%g", cAbs2(top), cAbs2(bottom))
+	}
+	if !Cross().IsCross() || Cross().IsBar() {
+		t.Fatal("Cross() state predicates wrong")
+	}
+}
+
+func TestMZIBarState(t *testing.T) {
+	// Bar (θ=π): straight through.
+	top, bottom := Bar().Apply(1, 0)
+	if math.Abs(cAbs2(top)-1) > 1e-12 || cAbs2(bottom) > 1e-12 {
+		t.Fatalf("bar state: top input gave |top|²=%g |bottom|²=%g", cAbs2(top), cAbs2(bottom))
+	}
+	top, bottom = Bar().Apply(0, 1)
+	if cAbs2(top) > 1e-12 || math.Abs(cAbs2(bottom)-1) > 1e-12 {
+		t.Fatalf("bar state: bottom input gave |top|²=%g |bottom|²=%g", cAbs2(top), cAbs2(bottom))
+	}
+	if !Bar().IsBar() || Bar().IsCross() {
+		t.Fatal("Bar() state predicates wrong")
+	}
+}
+
+func TestMZISplitterRatios(t *testing.T) {
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		z := Splitter(r)
+		top, bottom := z.Apply(1, 0)
+		if math.Abs(cAbs2(top)-r) > 1e-12 {
+			t.Fatalf("Splitter(%g): top power %g", r, cAbs2(top))
+		}
+		if math.Abs(cAbs2(bottom)-(1-r)) > 1e-12 {
+			t.Fatalf("Splitter(%g): bottom power %g", r, cAbs2(bottom))
+		}
+	}
+}
+
+func TestMZISplitterPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Splitter(1.5) did not panic")
+		}
+	}()
+	Splitter(1.5)
+}
+
+func TestMZIPowerConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := MZI{Theta: rng.Float64() * math.Pi, Phi: rng.Float64() * 2 * math.Pi}
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		b := complex(rng.NormFloat64(), rng.NormFloat64())
+		top, bottom := z.Apply(a, b)
+		in := cAbs2(a) + cAbs2(b)
+		out := cAbs2(top) + cAbs2(bottom)
+		return math.Abs(in-out) <= 1e-9*math.Max(1, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttenuatorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		mag := rng.Float64()
+		ph := rng.Float64() * 2 * math.Pi
+		want := cmplx.Rect(mag, ph)
+		a := NewAttenuator(want)
+		if cmplx.Abs(a.Amplitude()-want) > 1e-12 {
+			t.Fatalf("attenuator roundtrip: want %v got %v", want, a.Amplitude())
+		}
+	}
+}
+
+func TestAttenuatorUnit(t *testing.T) {
+	if cmplx.Abs(Unit().Amplitude()-1) > 1e-12 {
+		t.Fatalf("Unit() amplitude = %v, want 1", Unit().Amplitude())
+	}
+}
+
+func TestAttenuatorZero(t *testing.T) {
+	a := NewAttenuator(0)
+	if cmplx.Abs(a.Amplitude()) > 1e-12 {
+		t.Fatalf("zero attenuator amplitude = %v", a.Amplitude())
+	}
+}
+
+func TestAttenuatorPanicsOnGain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAttenuator(2) did not panic")
+		}
+	}()
+	NewAttenuator(2)
+}
+
+func TestAttenuatorThetaRange(t *testing.T) {
+	f := func(mag, ph float64) bool {
+		m := math.Abs(math.Mod(mag, 1))
+		a := NewAttenuator(cmplx.Rect(m, ph))
+		return a.Theta >= 0 && a.Theta <= math.Pi && a.Phi >= 0 && a.Phi < 2*math.Pi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

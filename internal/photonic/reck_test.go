@@ -1,0 +1,179 @@
+package photonic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flumen/internal/mat"
+)
+
+func TestReckDecomposeReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{2, 3, 4, 6, 8, 16} {
+		u := mat.RandomUnitary(n, rng)
+		m := NewReckMesh(n)
+		m.ProgramUnitary(u)
+		if err := mat.MaxAbsDiff(m.Matrix(), u); err > 1e-9 {
+			t.Fatalf("Reck reconstruction failed for n=%d: err=%g", n, err)
+		}
+	}
+}
+
+func TestReckDeviceCountMatchesClements(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		r := NewReckMesh(n)
+		if r.NumMZIs() != n*(n-1)/2 {
+			t.Fatalf("Reck n=%d has %d MZIs, want %d", n, r.NumMZIs(), n*(n-1)/2)
+		}
+	}
+}
+
+func TestReckDepthIsDeeperThanClements(t *testing.T) {
+	// The geometry ablation of DESIGN.md: same device count, but the
+	// triangle is ~2× deeper, so its worst path loses ~2× more light.
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{4, 8, 16} {
+		u := mat.RandomUnitary(n, rng)
+		reck := NewReckMesh(n)
+		reck.ProgramUnitary(u)
+		if reck.Depth() != 2*n-3 {
+			t.Fatalf("Reck n=%d depth %d, want 2N-3=%d", n, reck.Depth(), 2*n-3)
+		}
+		clem := NewMesh(n)
+		clem.ProgramUnitary(u)
+		if reck.Depth() <= clem.Depth() {
+			t.Fatalf("Reck depth %d not deeper than Clements %d", reck.Depth(), clem.Depth())
+		}
+	}
+}
+
+func TestReckWireTouchSpreadExceedsClements(t *testing.T) {
+	// The attenuator column must equalize the per-port device-count
+	// spread; the triangle's spread is far wider than the rectangle's.
+	n := 8
+	rng := rand.New(rand.NewSource(42))
+	u := mat.RandomUnitary(n, rng)
+	reck := NewReckMesh(n)
+	reck.ProgramUnitary(u)
+	touches := reck.WireTouches()
+	minT, maxT := touches[0], touches[0]
+	var total int
+	for _, c := range touches {
+		if c < minT {
+			minT = c
+		}
+		if c > maxT {
+			maxT = c
+		}
+		total += c
+	}
+	if total != 2*reck.NumMZIs() {
+		t.Fatalf("touch accounting broken: %d vs %d", total, 2*reck.NumMZIs())
+	}
+	// Rectangle spread (all-bar lattice): min 4, max 8 for n=8 (spread 4).
+	// Triangle: wire n-1 is touched once, wire 1 up to 2(n-1)-1 times.
+	if maxT-minT <= 4 {
+		t.Fatalf("Reck touch spread %d..%d unexpectedly narrow", minT, maxT)
+	}
+}
+
+func TestReckRejectsNonUnitary(t *testing.T) {
+	m := NewReckMesh(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-unitary accepted")
+		}
+	}()
+	m.ProgramUnitary(mat.FromReal([][]float64{{1, 2, 0}, {0, 1, 0}, {0, 0, 1}}))
+}
+
+func TestReckForwardPreservesPower(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		m := NewReckMesh(n)
+		m.ProgramUnitary(mat.RandomUnitary(n, rng))
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		out := m.Forward(in)
+		return math.Abs(mat.VecNorm(out)-mat.VecNorm(in)) < 1e-9*math.Max(1, mat.VecNorm(in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturbPhasesDegradesGracefully(t *testing.T) {
+	// Small phase errors cause proportionally small matrix errors — the
+	// robustness property the paper credits MZI meshes with (Sec 6).
+	rng := rand.New(rand.NewSource(43))
+	u := mat.RandomUnitary(8, rng)
+	var prev float64
+	for _, sigma := range []float64{0.001, 0.01, 0.1} {
+		var worst float64
+		for trial := 0; trial < 5; trial++ {
+			m := NewMesh(8)
+			m.ProgramUnitary(u)
+			m.PerturbPhases(sigma, rng)
+			if d := mat.MaxAbsDiff(m.Matrix(), u); d > worst {
+				worst = d
+			}
+		}
+		if worst <= prev {
+			t.Fatalf("error not increasing with sigma: %g at σ=%g vs %g before", worst, sigma, prev)
+		}
+		if sigma <= 0.01 && worst > 40*sigma {
+			t.Fatalf("σ=%g produced disproportionate error %g", sigma, worst)
+		}
+		prev = worst
+	}
+}
+
+func TestPerturbPhasesPreservesUnitarity(t *testing.T) {
+	// Phase errors change the transformation but never create gain: the
+	// perturbed mesh stays unitary (MZIs are lossless in the E-field
+	// model; loss lives in internal/optics).
+	rng := rand.New(rand.NewSource(44))
+	m := NewMesh(6)
+	m.ProgramUnitary(mat.RandomUnitary(6, rng))
+	m.PerturbPhases(0.2, rng)
+	if !m.Matrix().IsUnitary(1e-9) {
+		t.Fatal("perturbed mesh lost unitarity")
+	}
+}
+
+func TestPerturbFlumenPartitionAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	f := NewFlumenMesh(8)
+	p, err := f.NewPartition(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := randomContractive(4, rng)
+	if err := p.Program(m); err != nil {
+		t.Fatal(err)
+	}
+	f.PerturbPhases(0.005, rng)
+	// 8-bit equivalent precision tolerates ~0.5% phase noise.
+	if d := mat.MaxAbsDiff(p.Matrix(), m); d > 0.1 {
+		t.Fatalf("partition error %g under mild phase noise", d)
+	}
+}
+
+func TestPerturbReck(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	u := mat.RandomUnitary(8, rng)
+	m := NewReckMesh(8)
+	m.ProgramUnitary(u)
+	n := m.PerturbPhases(0.01, rng)
+	if n != m.NumMZIs() {
+		t.Fatalf("perturbed %d devices, want %d", n, m.NumMZIs())
+	}
+	if d := mat.MaxAbsDiff(m.Matrix(), u); d == 0 || d > 1 {
+		t.Fatalf("implausible perturbation error %g", d)
+	}
+}

@@ -1,0 +1,92 @@
+package photonic
+
+import (
+	"fmt"
+
+	"flumen/internal/mat"
+)
+
+// SVDMesh is the singular-value-decomposition MZIM architecture of Fig. 4:
+// an N-input unitary mesh implementing V*, a column of N attenuating MZIs
+// implementing the diagonal Σ, and a second unitary mesh implementing U,
+// so that b = U·Σ·V*·a = M·a for any matrix M with singular values in
+// [0, 1]. The total device count is N² MZIs (2·N(N-1)/2 + N).
+type SVDMesh struct {
+	n     int
+	vStar *Mesh
+	sigma []Attenuator
+	u     *Mesh
+}
+
+// NewSVDMesh returns an N-input SVD mesh programmed to the identity.
+func NewSVDMesh(n int) *SVDMesh {
+	s := &SVDMesh{n: n, vStar: NewMesh(n), u: NewMesh(n), sigma: make([]Attenuator, n)}
+	for i := range s.sigma {
+		s.sigma[i] = Unit()
+	}
+	return s
+}
+
+// N returns the port count.
+func (s *SVDMesh) N() int { return s.n }
+
+// NumMZIs returns the total MZI count, N² for an N-input SVD mesh.
+func (s *SVDMesh) NumMZIs() int { return s.vStar.NumMZIs() + s.u.NumMZIs() + len(s.sigma) }
+
+// Program configures the mesh to implement the matrix m, whose singular
+// values must all lie in [0, 1] (energy conservation: the Σ attenuators
+// cannot amplify; Sec 3.3.1). Matrices violating the bound must be scaled
+// by their spectral norm first — see ProgramScaled. Returns an error if a
+// singular value exceeds 1 beyond numerical tolerance.
+func (s *SVDMesh) Program(m *mat.Dense) error {
+	if m.Rows() != s.n || m.Cols() != s.n {
+		return fmt.Errorf("photonic: SVD mesh is %d-input, matrix is %d×%d", s.n, m.Rows(), m.Cols())
+	}
+	res := mat.SVD(m)
+	for _, sv := range res.Sigma {
+		if sv > 1+1e-9 {
+			return fmt.Errorf("photonic: singular value %g > 1; scale the matrix by its spectral norm first", sv)
+		}
+	}
+	s.u.ProgramUnitary(res.U)
+	s.vStar.ProgramUnitary(res.V.Adjoint())
+	for i := 0; i < s.n; i++ {
+		sv := res.Sigma[i]
+		if sv > 1 {
+			sv = 1
+		}
+		s.sigma[i] = NewAttenuator(complex(sv, 0))
+	}
+	return nil
+}
+
+// ProgramScaled programs the mesh with m / ‖m‖₂ and returns the scale
+// factor ‖m‖₂ that the caller must re-apply to outputs (M_s = M/‖M‖₂,
+// Sec 3.3.1). A zero matrix returns scale 0 and programs the zero map.
+func (s *SVDMesh) ProgramScaled(m *mat.Dense) (scale float64, err error) {
+	scale = mat.SpectralNorm(m)
+	if scale == 0 {
+		return 0, s.Program(mat.New(s.n, s.n))
+	}
+	return scale, s.Program(mat.Scale(complex(1/scale, 0), m))
+}
+
+// Forward propagates input E-fields through V*, Σ, then U.
+func (s *SVDMesh) Forward(in []complex128) []complex128 {
+	out := s.vStar.Forward(in)
+	for i := range out {
+		out[i] *= s.sigma[i].Amplitude()
+	}
+	return s.u.Forward(out)
+}
+
+// Matrix returns the N×N complex matrix implemented by the mesh.
+func (s *SVDMesh) Matrix() *mat.Dense {
+	m := mat.New(s.n, s.n)
+	for j := 0; j < s.n; j++ {
+		in := make([]complex128, s.n)
+		in[j] = 1
+		m.SetCol(j, s.Forward(in))
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flumen/internal/mat"
+)
+
+func TestToeplitzOperatorMatchesBlur(t *testing.T) {
+	// T·window(y, x0) must equal N consecutive blurred pixels — the
+	// correctness of the offload mapping's mathematics.
+	b := NewImageBlur(32, 32)
+	img := b.RandomImage(3)
+	ref := b.Reference(img)
+	const meshN = 8
+	op := b.ToeplitzOperator(meshN)
+	for _, pos := range [][2]int{{0, 0}, {8, 5}, {24, 31}, {16, 0}, {0, 31}} {
+		x0, y := pos[0], pos[1]
+		win := b.ToeplitzWindow(img[1], y, x0, meshN)
+		wc := make([]complex128, len(win))
+		for i, v := range win {
+			wc[i] = complex(v, 0)
+		}
+		out := mat.MulVec(op, wc)
+		for i := 0; i < meshN; i++ {
+			if x0+i >= b.W {
+				break
+			}
+			want := ref[1].At(x0+i, y, 0)
+			if math.Abs(real(out[i])-want) > 1e-12 {
+				t.Fatalf("Toeplitz output (%d,%d)+%d = %g, blur reference %g",
+					x0, y, i, real(out[i]), want)
+			}
+		}
+	}
+}
+
+func TestToeplitzOperatorShape(t *testing.T) {
+	b := NewImageBlur(16, 16)
+	op := b.ToeplitzOperator(8)
+	if op.Rows() != 8 || op.Cols() != 30 {
+		t.Fatalf("operator %d×%d, want 8×30", op.Rows(), op.Cols())
+	}
+	// Padded to 8×32: 4 column blocks, matching the offload stream's
+	// blockCols computation.
+	_, bj := mat.BlockGrid(op, 8)
+	if bj != 4 {
+		t.Fatalf("column blocks %d, want 4", bj)
+	}
+}
+
+func TestPropertyToeplitzMatchesBlurEverywhere(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewImageBlur(16+rng.Intn(16), 16+rng.Intn(16))
+		img := b.RandomImage(seed)
+		ref := b.Reference(img)
+		const meshN = 8
+		op := b.ToeplitzOperator(meshN)
+		ch := rng.Intn(3)
+		y := rng.Intn(b.H)
+		x0 := rng.Intn(b.W)
+		win := b.ToeplitzWindow(img[ch], y, x0, meshN)
+		wc := make([]complex128, len(win))
+		for i, v := range win {
+			wc[i] = complex(v, 0)
+		}
+		out := mat.MulVec(op, wc)
+		for i := 0; i < meshN && x0+i < b.W; i++ {
+			if math.Abs(real(out[i])-ref[ch].At(x0+i, y, 0)) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToeplitzBlockwiseDecomposition(t *testing.T) {
+	// The offload path computes T·w as a sum over 8×8 column blocks
+	// (Eq. 3); verify the decomposition agrees with the direct product.
+	b := NewImageBlur(16, 16)
+	img := b.RandomImage(9)
+	const meshN = 8
+	op := b.ToeplitzOperator(meshN)
+	win := b.ToeplitzWindow(img[0], 7, 4, meshN)
+	wc := make([]complex128, len(win))
+	for i, v := range win {
+		wc[i] = complex(v, 0)
+	}
+	direct := mat.MulVec(op, wc)
+	viaBlocks := mat.BlockMatVec(op, wc, meshN, func(blk *mat.Dense, seg []complex128) []complex128 {
+		return mat.MulVec(blk, seg)
+	})
+	if mat.VecMaxAbsDiff(direct, viaBlocks) > 1e-12 {
+		t.Fatal("block decomposition of the Toeplitz operator diverges")
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+
+	"flumen/internal/chip"
+	"flumen/internal/mat"
+)
+
+// JPEG performs JPEG compression of a W×H image plane (Sec 4.2: 256×384 →
+// 1536 two-dimensional 8×8 DCTs ≈ 1.6 million MACs). Each 8×8 block is
+// transformed as C·X·Cᵀ (two 8×8 matrix multiplications), quantized, and
+// zig-zag run-length encoded; the orthogonal DCT matrix maps onto the full
+// 8-input unitary MZIM with no partial sums, while quantization and
+// encoding stay on the cores (Sec 5.4.1).
+type JPEG struct {
+	W, H int
+}
+
+// NewJPEG returns the benchmark for a W×H image plane.
+func NewJPEG(w, h int) *JPEG {
+	if w < 8 {
+		w = 8
+	}
+	if h < 8 {
+		h = 8
+	}
+	return &JPEG{W: w - w%8, H: h - h%8}
+}
+
+// Name implements Workload.
+func (j *JPEG) Name() string { return "JPEG" }
+
+// Blocks returns the 8×8 block count.
+func (j *JPEG) Blocks() int { return (j.W / 8) * (j.H / 8) }
+
+// TotalMACs implements Workload: 2 matmuls × 8³ per block.
+func (j *JPEG) TotalMACs() int64 { return int64(j.Blocks()) * 1024 }
+
+// encodeCycles approximates the per-block quantization + zig-zag + RLE
+// work on the core.
+const encodeCycles = 200
+
+// RandomPlane generates a seeded image plane with samples in [-0.5, 0.5)
+// (level-shifted 8-bit pixels).
+func (j *JPEG) RandomPlane(seed int64) *Volume {
+	rng := rand.New(rand.NewSource(seed))
+	v := NewVolume(j.W, j.H, 1)
+	for i := range v.Data {
+		v.Data[i] = rng.Float64() - 0.5
+	}
+	return v
+}
+
+// Block extracts the 8×8 block at block coordinates (bx, by) scaled to the
+// nominal 8-bit range (×255) for quantization-table compatibility.
+func (j *JPEG) Block(plane *Volume, bx, by int) *mat.Dense {
+	b := mat.New(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			b.Set(y, x, complex(255*plane.At(bx*8+x, by*8+y, 0), 0))
+		}
+	}
+	return b
+}
+
+// Reference compresses the plane digitally, returning per-block run-length
+// pair counts (a compact proxy for the encoded size).
+func (j *JPEG) Reference(plane *Volume) []int {
+	c := DCTMatrix(8)
+	var out []int
+	for by := 0; by < j.H/8; by++ {
+		for bx := 0; bx < j.W/8; bx++ {
+			coeffs := DCT2D(c, j.Block(plane, bx, by))
+			q := QuantizeBlock(coeffs)
+			out = append(out, len(ZigzagRunLength(q)))
+		}
+	}
+	return out
+}
+
+// DigitalStreams implements Workload: blocks split across cores; each block
+// loads its 64 samples, runs two 8×8 matmuls, then encodes.
+func (j *JPEG) DigitalStreams(cores int) []chip.Stream {
+	blocks := j.Blocks()
+	streams := make([]chip.Stream, cores)
+	for c := 0; c < cores; c++ {
+		lo, hi := splitRange(blocks, cores, c)
+		var ops []chip.Op
+		for b := lo; b < hi; b++ {
+			ops = append(ops,
+				chip.Op{Kind: chip.KindLoadBlock, Addr: baseInputs + uint64(b*64), Lines: 1},
+				chip.Op{Kind: chip.KindMAC, N: 1024}, // C·X then ·Cᵀ
+				chip.Op{Kind: chip.KindCompute, N: encodeCycles},
+				chip.Op{Kind: chip.KindStoreBlock, Addr: baseOutputs + uint64(b*64), Lines: 1},
+			)
+		}
+		streams[c] = chip.NewSliceStream(ops)
+	}
+	return streams
+}
+
+// OffloadStreams implements Workload: each block performs two MZIM matmuls
+// against the globally shared DCT matrix (one MatrixTag for C, one for the
+// transposed pass), so phase reuse is near-total.
+func (j *JPEG) OffloadStreams(cores, meshN, lambdas int) []chip.Stream {
+	if meshN < 8 {
+		meshN = 8
+	}
+	blocks := j.Blocks()
+	streams := make([]chip.Stream, cores)
+	const tagC = 0xDC100000
+	const tagCT = 0xDC200000
+	vecs := min(8, lambdas)
+	for c := 0; c < cores; c++ {
+		lo, hi := splitRange(blocks, cores, c)
+		var ops []chip.Op
+		for b := lo; b < hi; b++ {
+			ops = append(ops,
+				chip.Op{Kind: chip.KindLoadBlock, Addr: baseInputs + uint64(b*64), Lines: 1},
+				// First pass: Y = C·X (8 column vectors on 8 wavelengths).
+				chip.Op{Kind: chip.KindOffload, Job: MZIMJob{
+					N: 8, Vectors: vecs, MatrixTag: tagC,
+					ResultBits: 8 * 8 * 8,
+					FallMACs:   512,
+				}},
+				// Second pass: Z = Y·Cᵀ as C·Yᵀ on the transposed data.
+				chip.Op{Kind: chip.KindOffload, Job: MZIMJob{
+					N: 8, Vectors: vecs, MatrixTag: tagCT,
+					ResultBits: 8 * 8 * 8,
+					FallMACs:   512,
+				}},
+				chip.Op{Kind: chip.KindCompute, N: encodeCycles},
+				chip.Op{Kind: chip.KindStoreBlock, Addr: baseOutputs + uint64(b*64), Lines: 1},
+			)
+		}
+		streams[c] = chip.NewSliceStream(ops)
+	}
+	return streams
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"flumen/internal/chip"
+	"flumen/internal/mat"
+)
+
+// Rotation3D rotates a wire-frame object of V homogeneous 4-vectors by a
+// per-frame 4×4 rotation matrix across F animation frames (Sec 4.2: a
+// 306-vertex object). The 4×4 matrix maps onto a 4-input SVD sub-MZIM and
+// requires no partial-sum accumulation, giving the paper's largest energy
+// and EDP gains.
+type Rotation3D struct {
+	Verts  int
+	Frames int
+}
+
+// NewRotation3D returns the benchmark.
+func NewRotation3D(verts, frames int) *Rotation3D {
+	if verts < 8 {
+		verts = 8
+	}
+	if frames < 1 {
+		frames = 1
+	}
+	return &Rotation3D{Verts: verts, Frames: frames}
+}
+
+// Name implements Workload.
+func (r *Rotation3D) Name() string { return "3DRotation" }
+
+// TotalMACs implements Workload: 16 MACs per vertex per frame.
+func (r *Rotation3D) TotalMACs() int64 {
+	return int64(r.Verts) * int64(r.Frames) * 16
+}
+
+// RandomObject generates seeded vertices with coordinates in [-1, 1) and
+// homogeneous w = 1.
+func (r *Rotation3D) RandomObject(seed int64) [][4]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([][4]float64, r.Verts)
+	for i := range vs {
+		vs[i] = [4]float64{2*rng.Float64() - 1, 2*rng.Float64() - 1, 2*rng.Float64() - 1, 1}
+	}
+	return vs
+}
+
+// RotationMatrix returns the homogeneous rotation by angle θ about the
+// axis (x, y, z axes composed: Rz(θ)·Ry(θ/2)·Rx(θ/3)), exercising a dense
+// 4×4 with unit-norm rows in the rotation sub-block.
+func RotationMatrix(theta float64) *mat.Dense {
+	rx := rotX(theta / 3)
+	ry := rotY(theta / 2)
+	rz := rotZ(theta)
+	return mat.Mul(rz, mat.Mul(ry, rx))
+}
+
+func rotX(t float64) *mat.Dense {
+	c, s := math.Cos(t), math.Sin(t)
+	return mat.FromReal([][]float64{
+		{1, 0, 0, 0},
+		{0, c, -s, 0},
+		{0, s, c, 0},
+		{0, 0, 0, 1},
+	})
+}
+
+func rotY(t float64) *mat.Dense {
+	c, s := math.Cos(t), math.Sin(t)
+	return mat.FromReal([][]float64{
+		{c, 0, s, 0},
+		{0, 1, 0, 0},
+		{-s, 0, c, 0},
+		{0, 0, 0, 1},
+	})
+}
+
+func rotZ(t float64) *mat.Dense {
+	c, s := math.Cos(t), math.Sin(t)
+	return mat.FromReal([][]float64{
+		{c, -s, 0, 0},
+		{s, c, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	})
+}
+
+// Reference rotates the object by the frame-f matrix digitally.
+func (r *Rotation3D) Reference(verts [][4]float64, frame int) [][4]float64 {
+	m := RotationMatrix(2 * math.Pi * float64(frame) / float64(r.Frames))
+	out := make([][4]float64, len(verts))
+	for i, v := range verts {
+		for row := 0; row < 4; row++ {
+			var acc float64
+			for col := 0; col < 4; col++ {
+				acc += real(m.At(row, col)) * v[col]
+			}
+			out[i][row] = acc
+		}
+	}
+	return out
+}
+
+// DigitalStreams implements Workload: frames split across cores; each
+// frame streams its vertex chunks and transforms them.
+func (r *Rotation3D) DigitalStreams(cores int) []chip.Stream {
+	streams := make([]chip.Stream, cores)
+	vertBytes := r.Verts * 16 // 4 coords × 4 B
+	for c := 0; c < cores; c++ {
+		lo, hi := splitRange(r.Frames, cores, c)
+		var ops []chip.Op
+		for f := lo; f < hi; f++ {
+			ops = append(ops,
+				chip.Op{Kind: chip.KindCompute, N: 40}, // build rotation matrix
+				chip.Op{Kind: chip.KindLoadBlock, Addr: baseInputs, Lines: lines(vertBytes)},
+				chip.Op{Kind: chip.KindMAC, N: int64(r.Verts) * 16},
+				chip.Op{Kind: chip.KindStoreBlock, Addr: baseOutputs, Lines: lines(vertBytes)},
+			)
+		}
+		streams[c] = chip.NewSliceStream(ops)
+	}
+	return streams
+}
+
+// OffloadStreams implements Workload: one kernel-request per frame streams
+// every vertex through a 4-input partition programmed with that frame's
+// rotation matrix (high reuse within the frame, no partial sums —
+// Sec 5.4.1's best case).
+func (r *Rotation3D) OffloadStreams(cores, meshN, lambdas int) []chip.Stream {
+	_ = meshN // the rotation matrix always fits a 4-input partition
+	_ = lambdas
+	streams := make([]chip.Stream, cores)
+	vertBytes := r.Verts * 16
+	for c := 0; c < cores; c++ {
+		lo, hi := splitRange(r.Frames, cores, c)
+		var ops []chip.Op
+		for f := lo; f < hi; f++ {
+			ops = append(ops,
+				chip.Op{Kind: chip.KindCompute, N: 40}, // build rotation matrix
+				chip.Op{Kind: chip.KindLoadBlock, Addr: baseInputs, Lines: lines(vertBytes)},
+				chip.Op{Kind: chip.KindOffload, Job: MZIMJob{
+					N:          4,
+					Blocks:     1,
+					Vectors:    r.Verts,
+					MatrixTag:  0x3D000000 | uint64(f),
+					ResultBits: r.Verts * 4 * 8,
+					FallMACs:   int64(r.Verts) * 16,
+				}},
+				chip.Op{Kind: chip.KindStoreBlock,
+					Addr: baseOutputs, Lines: lines(vertBytes)},
+			)
+		}
+		streams[c] = chip.NewSliceStream(ops)
+	}
+	return streams
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+
+	"flumen/internal/chip"
+	"flumen/internal/mat"
+)
+
+// VGG16FC is the FC-1000 layer of an 8-bit quantized VGG16: a 1000×4096
+// weight matrix times a 4096-element activation vector plus a bias
+// (Sec 4.2: ~4.1 million MACs). It is the paper's low-reuse benchmark —
+// every weight block is used exactly once per inference, so Flumen must
+// reprogram phases for each block and achieves its smallest speedup here.
+type VGG16FC struct {
+	Out, In int
+}
+
+// NewVGG16FC returns the paper-scale layer (1000×4096).
+func NewVGG16FC() *VGG16FC { return NewVGG16FCShape(1000, 4096) }
+
+// NewVGG16FCShape returns a custom-shape FC layer.
+func NewVGG16FCShape(out, in int) *VGG16FC {
+	if out < 2 {
+		out = 2
+	}
+	if in < 2 {
+		in = 2
+	}
+	return &VGG16FC{Out: out, In: in}
+}
+
+// Name implements Workload.
+func (v *VGG16FC) Name() string { return "VGG16FC" }
+
+// TotalMACs implements Workload.
+func (v *VGG16FC) TotalMACs() int64 { return int64(v.Out) * int64(v.In) }
+
+// RandomLayer generates seeded weights (Out×In), bias and input vector
+// with values in [-1, 1), modelling the dequantized 8-bit tensors.
+func (v *VGG16FC) RandomLayer(seed int64) (weights *mat.Dense, bias, input []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	weights = mat.RandomReal(v.Out, v.In, rng)
+	bias = make([]float64, v.Out)
+	input = make([]float64, v.In)
+	for i := range bias {
+		bias[i] = 2*rng.Float64() - 1
+	}
+	for i := range input {
+		input[i] = 2*rng.Float64() - 1
+	}
+	return weights, bias, input
+}
+
+// Reference computes weights·input + bias digitally.
+func (v *VGG16FC) Reference(weights *mat.Dense, bias, input []float64) []float64 {
+	x := make([]complex128, len(input))
+	for i, val := range input {
+		x[i] = complex(val, 0)
+	}
+	y := mat.MulVec(weights, x)
+	out := make([]float64, v.Out)
+	for i := range out {
+		out[i] = real(y[i]) + bias[i]
+	}
+	return out
+}
+
+// DigitalStreams implements Workload: output rows split across cores; each
+// row streams its weight row and multiplies against the (cached) input.
+func (v *VGG16FC) DigitalStreams(cores int) []chip.Stream {
+	streams := make([]chip.Stream, cores)
+	for c := 0; c < cores; c++ {
+		lo, hi := splitRange(v.Out, cores, c)
+		var ops []chip.Op
+		if hi > lo {
+			// Bring the shared input vector in once per core.
+			ops = append(ops, chip.Op{Kind: chip.KindLoadBlock, Addr: baseInputs, Lines: lines(v.In)})
+		}
+		for r := lo; r < hi; r++ {
+			ops = append(ops,
+				chip.Op{Kind: chip.KindLoadBlock, Addr: baseWeights + uint64(r*v.In), Lines: lines(v.In)},
+				chip.Op{Kind: chip.KindMAC, N: int64(v.In) + 1}, // dot product + bias
+			)
+		}
+		if hi > lo {
+			ops = append(ops, chip.Op{Kind: chip.KindStoreBlock, Addr: baseOutputs + uint64(lo), Lines: lines(hi - lo)})
+		}
+		streams[c] = chip.NewSliceStream(ops)
+	}
+	return streams
+}
+
+// OffloadStreams implements Workload: the padded weight matrix partitions
+// into an (Out/N)×(In/N) block grid. Each core issues one kernel-request
+// per block row covering all of its column blocks in sequence
+// (Blocks = In/N distinct matrices, each multiplying one segment of the
+// single input vector — Vectors = 1, so WDM parallelism is wasted on this
+// benchmark, matching the paper's observation of VGG's low speedup). Every
+// matrix is used exactly once: zero phase reuse.
+func (v *VGG16FC) OffloadStreams(cores, meshN, lambdas int) []chip.Stream {
+	_ = lambdas
+	bRows := (v.Out + meshN - 1) / meshN
+	bCols := (v.In + meshN - 1) / meshN
+	streams := make([]chip.Stream, cores)
+	for c := 0; c < cores; c++ {
+		lo, hi := splitRange(bRows, cores, c)
+		var ops []chip.Op
+		if hi > lo {
+			ops = append(ops, chip.Op{Kind: chip.KindLoadBlock, Addr: baseInputs, Lines: lines(v.In)})
+		}
+		for r := lo; r < hi; r++ {
+			ops = append(ops,
+				chip.Op{Kind: chip.KindOffload, Job: MZIMJob{
+					N:          meshN,
+					Blocks:     bCols,
+					Vectors:    1,
+					MatrixTag:  0xF0000000 | uint64(r),
+					ResultBits: bCols * meshN * 8,
+					FallMACs:   int64(bCols) * int64(meshN) * int64(meshN),
+				}},
+				// Accumulate the returned partials into the output row
+				// segment, plus the bias adds.
+				chip.Op{Kind: chip.KindAdd, N: int64(bCols*meshN) + int64(meshN)},
+				chip.Op{Kind: chip.KindStoreBlock, Addr: baseOutputs + uint64(r*meshN), Lines: lines(meshN)},
+			)
+		}
+		streams[c] = chip.NewSliceStream(ops)
+	}
+	return streams
+}

@@ -1,0 +1,158 @@
+package flumen
+
+// Cross-cutting full-system invariants: conservation of work between the
+// digital and offload execution modes, and determinism of the whole
+// simulation stack.
+
+import (
+	"testing"
+
+	"flumen/internal/chip"
+	"flumen/internal/workload"
+)
+
+func TestDigitalModeExecutesAllKernelMACs(t *testing.T) {
+	// In pure-electrical mode the cores must perform at least the kernel's
+	// published MAC count (plus small extras like bias adds).
+	for _, w := range workload.ScaledAll(4) {
+		res, err := RunWorkload(w, "Mesh", DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MACsOnCores < w.TotalMACs() {
+			t.Errorf("%s: cores executed %d MACs, kernel needs %d",
+				w.Name(), res.MACsOnCores, w.TotalMACs())
+		}
+		if res.MACsOnCores > w.TotalMACs()+w.TotalMACs()/10 {
+			t.Errorf("%s: cores executed %d MACs, far above kernel %d",
+				w.Name(), res.MACsOnCores, w.TotalMACs())
+		}
+	}
+}
+
+func TestOffloadModeConservesWork(t *testing.T) {
+	// In Flumen-A the fabric must absorb at least the kernel MACs that
+	// left the cores: fabric MACs (counted from the granted jobs, padding
+	// included) + core MACs ≥ kernel MACs.
+	for _, w := range workload.ScaledAll(4) {
+		// Count the fabric MACs the streams request.
+		var fabric int64
+		for _, s := range w.OffloadStreams(64, 8, 8) {
+			for {
+				op, ok := s.Next()
+				if !ok {
+					break
+				}
+				if op.Kind == chip.KindOffload {
+					fabric += op.Job.(workload.MZIMJob).FabricMACs()
+				}
+			}
+		}
+		res, err := RunWorkload(w, "Flumen-A", DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fabric+res.MACsOnCores < w.TotalMACs() {
+			t.Errorf("%s: fabric %d + cores %d below kernel %d",
+				w.Name(), fabric, res.MACsOnCores, w.TotalMACs())
+		}
+	}
+}
+
+func TestOffloadGrantCountsMatchStreams(t *testing.T) {
+	// Every offload op either completes on the fabric or falls back; with
+	// node-side rejection disabled by default, grants must equal requests.
+	for _, w := range workload.ScaledAll(4) {
+		var requests int64
+		for _, s := range w.OffloadStreams(64, 8, 8) {
+			for {
+				op, ok := s.Next()
+				if !ok {
+					break
+				}
+				if op.Kind == chip.KindOffload {
+					requests++
+				}
+			}
+		}
+		res, err := RunWorkload(w, "Flumen-A", DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OffloadsRequested != requests {
+			t.Errorf("%s: %d requests observed, streams carry %d",
+				w.Name(), res.OffloadsRequested, requests)
+		}
+		if res.OffloadsGranted != requests {
+			t.Errorf("%s: %d of %d requests granted (unexpected fallbacks)",
+				w.Name(), res.OffloadsGranted, requests)
+		}
+	}
+}
+
+func TestSimulationIsDeterministic(t *testing.T) {
+	// Two identical runs must agree cycle-for-cycle and joule-for-joule —
+	// the property the whole experiment harness depends on.
+	for _, topo := range []string{"Mesh", "OptBus", "Flumen-A"} {
+		w1 := workload.ScaledAll(4)[3] // JPEG
+		w2 := workload.ScaledAll(4)[3]
+		a, err := RunWorkload(w1, topo, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunWorkload(w2, topo, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles {
+			t.Errorf("%s: cycles differ across identical runs: %d vs %d", topo, a.Cycles, b.Cycles)
+		}
+		if a.Energy != b.Energy {
+			t.Errorf("%s: energy differs across identical runs", topo)
+		}
+		if a.Reprograms != b.Reprograms || a.TagReuses != b.TagReuses {
+			t.Errorf("%s: control stats differ across identical runs", topo)
+		}
+	}
+}
+
+func TestEnergyBreakdownComponentsNonNegative(t *testing.T) {
+	for _, w := range workload.ScaledAll(8) {
+		for _, topo := range Topologies() {
+			res, err := RunWorkload(w, topo, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := res.Energy
+			for name, v := range map[string]float64{
+				"core": e.CorePJ, "l1i": e.L1iPJ, "l1d": e.L1dPJ,
+				"l2": e.L2PJ, "l3": e.L3PJ, "dram": e.DRAMPJ, "nop": e.NoPPJ,
+			} {
+				if v < 0 {
+					t.Errorf("%s/%s: negative %s energy %g", w.Name(), topo, name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDRAMEnergySimilarAcrossModes(t *testing.T) {
+	// Sec 5.4.1: "the same data must be fetched from DRAM in all
+	// topologies" — offload mode's DRAM energy stays within 2× of the
+	// digital path (phase-memory streaming replaces weight streaming).
+	for _, w := range workload.ScaledAll(4) {
+		mesh, err := RunWorkload(w, "Mesh", DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, err := RunWorkload(w, "Flumen-A", DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := mesh.Energy.DRAMPJ/2, mesh.Energy.DRAMPJ*2+1e6
+		if fa.Energy.DRAMPJ < lo || fa.Energy.DRAMPJ > hi {
+			t.Errorf("%s: Flumen-A DRAM energy %.0f outside [%.0f, %.0f] of Mesh's %.0f",
+				w.Name(), fa.Energy.DRAMPJ, lo, hi, mesh.Energy.DRAMPJ)
+		}
+	}
+}

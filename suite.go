@@ -1,0 +1,100 @@
+package flumen
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"flumen/internal/workload"
+)
+
+// Suite holds the full benchmark × topology result grid behind
+// Figs. 13-15.
+type Suite struct {
+	// Results[benchmark][topology].
+	Results map[string]map[string]Result
+	// Benchmarks in run order.
+	Benchmarks []string
+}
+
+// RunSuite executes every benchmark on every topology, running the 25
+// independent simulations concurrently. scale shrinks the workloads
+// linearly (1 = paper scale).
+func RunSuite(cfg Config, scale int) (*Suite, error) {
+	s := &Suite{Results: map[string]map[string]Result{}}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, w := range workload.ScaledAll(scale) {
+		s.Benchmarks = append(s.Benchmarks, w.Name())
+		s.Results[w.Name()] = map[string]Result{}
+		for _, topo := range Topologies() {
+			wg.Add(1)
+			// Each goroutine needs its own workload instance: op streams
+			// are single-consumer. ScaledAll is cheap, so rebuild.
+			go func(bench, topo string) {
+				defer wg.Done()
+				var w workload.Workload
+				for _, cand := range workload.ScaledAll(scale) {
+					if cand.Name() == bench {
+						w = cand
+					}
+				}
+				res, err := RunWorkload(w, topo, cfg)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("flumen: %s on %s: %w", bench, topo, err)
+					return
+				}
+				s.Results[bench][topo] = res
+			}(w.Name(), topo)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// gain iterates Flumen-A gains over the reference topology.
+func (s *Suite) gains(ref string, f func(fa, base Result) float64) []float64 {
+	var out []float64
+	for _, b := range s.Benchmarks {
+		out = append(out, f(s.Results[b]["Flumen-A"], s.Results[b][ref]))
+	}
+	return out
+}
+
+// GeomeanSpeedup returns the Fig. 14 headline: Flumen-A speedup over the
+// named topology, geometric mean across benchmarks.
+func (s *Suite) GeomeanSpeedup(ref string) float64 {
+	return geomean(s.gains(ref, func(fa, base Result) float64 { return fa.SpeedupOver(base) }))
+}
+
+// GeomeanEnergyGain returns the Fig. 13 headline.
+func (s *Suite) GeomeanEnergyGain(ref string) float64 {
+	return geomean(s.gains(ref, func(fa, base Result) float64 { return fa.EnergyGainOver(base) }))
+}
+
+// GeomeanEDPGain returns the Fig. 15 headline.
+func (s *Suite) GeomeanEDPGain(ref string) float64 {
+	return geomean(s.gains(ref, func(fa, base Result) float64 { return fa.EDPGainOver(base) }))
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
