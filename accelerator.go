@@ -3,7 +3,8 @@ package flumen
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"flumen/internal/energy"
 	"flumen/internal/mat"
@@ -19,90 +20,214 @@ import (
 // algorithm, and evaluated by exact complex E-field propagation. Inputs
 // and detected outputs pass through DAC/ADC quantizers, reproducing the
 // paper's 8-bit equivalent analog precision.
+//
+// The fabric is carved into ports/blockSize independent compute
+// partitions (the k/2 concurrent sub-meshes of Sec 3.2); MatMul/Conv2D
+// dispatch block work items across them with a worker pool (see
+// engine.go), and an LRU weight-program cache amortizes the SVD +
+// Clements decomposition across calls that reuse the same weights.
 type Accelerator struct {
-	fabric    *photonic.FlumenMesh
-	partition *photonic.Partition
+	fabric     *photonic.FlumenMesh
+	partitions []*photonic.Partition
+	// pool hands out exclusive use of one partition per worker. It is
+	// created once and kept across RoutePermutation rebuilds so blocked
+	// receivers never observe a stale channel.
+	pool chan *photonic.Partition
+
+	// mu guards the call-time configuration (quant, workers, cache, noise
+	// switches); a consistent snapshot is taken at the top of each matMul.
+	mu        sync.RWMutex
 	quant     optics.Quantizer
-	noise     *optics.NoiseModel
-	ep        energy.Params
+	workers   int
+	cache     *programCache
+	noiseOn   bool
+	noiseSeed int64
+
+	// noiseCall numbers the matMul calls of one noisy run so every call —
+	// and every (block-row, block-col) item within it — draws from its own
+	// deterministic noise stream regardless of worker scheduling.
+	noiseCall atomic.Int64
+
+	meter energy.Meter
+	ep    energy.Params
 
 	blockSize int
 	lambdas   int
-
-	energyPJ float64
-	programs int64
-	batches  int64
 }
 
 // NewAccelerator builds an accelerator over a `ports`-input Flumen mesh
-// with one compute partition of the given block size. ports must be a
-// positive multiple of 4; blockSize must be even, ≥2 and ≤ ports/2.
+// carved into ports/blockSize compute partitions. ports must be a positive
+// multiple of 4; blockSize must be even, ≥2 and ≤ ports/2.
 func NewAccelerator(ports, blockSize int) (*Accelerator, error) {
 	if ports < 4 || ports%4 != 0 {
 		return nil, fmt.Errorf("flumen: ports must be a positive multiple of 4, got %d", ports)
 	}
-	fabric := photonic.NewFlumenMesh(ports)
-	part, err := fabric.NewPartition(0, blockSize)
-	if err != nil {
-		return nil, err
-	}
-	return &Accelerator{
-		fabric:    fabric,
-		partition: part,
+	a := &Accelerator{
+		fabric:    photonic.NewFlumenMesh(ports),
 		quant:     optics.NewQuantizer(8, 1),
 		ep:        energy.Default(),
 		blockSize: blockSize,
 		lambdas:   8,
-	}, nil
+		cache:     newProgramCache(DefaultProgramCacheSize),
+	}
+	if err := a.buildPartitions(); err != nil {
+		return nil, err
+	}
+	a.workers = len(a.partitions)
+	return a, nil
+}
+
+// buildPartitions carves the fabric into as many blockSize partitions as
+// fit and (re)fills the worker pool. Invalid block sizes surface as the
+// canonical NewPartition error for the first region.
+func (a *Accelerator) buildPartitions() error {
+	count := 1
+	if a.blockSize >= 2 && a.blockSize <= a.fabric.N()/2 {
+		count = a.fabric.N() / a.blockSize
+	}
+	parts := make([]*photonic.Partition, 0, count)
+	for i := 0; i < count; i++ {
+		p, err := a.fabric.NewPartition(i*a.blockSize, a.blockSize)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, p)
+	}
+	a.mu.Lock()
+	a.partitions = parts
+	a.mu.Unlock()
+	if a.pool == nil {
+		a.pool = make(chan *photonic.Partition, count)
+	}
+	for _, p := range parts {
+		a.pool <- p
+	}
+	return nil
 }
 
 // SetPrecision configures the DAC/ADC bit depth (default 8).
-func (a *Accelerator) SetPrecision(bits int) { a.quant = optics.NewQuantizer(bits, 1) }
+func (a *Accelerator) SetPrecision(bits int) {
+	a.mu.Lock()
+	a.quant = optics.NewQuantizer(bits, 1)
+	a.mu.Unlock()
+}
 
 // EnableNoise turns on analog detection noise (laser RIN plus a thermal
 // floor, per the Table 2 receiver model) with the given seed; seedless
 // deterministic runs are the default. Pass the same seed to reproduce a
-// noisy run exactly.
+// noisy run exactly — reproducibility holds for any worker count because
+// each work item derives its own noise stream from (seed, call, block).
 func (a *Accelerator) EnableNoise(seed int64) {
-	n := optics.DefaultNoise(1, rand.New(rand.NewSource(seed)))
-	a.noise = &n
+	a.mu.Lock()
+	a.noiseOn = true
+	a.noiseSeed = seed
+	a.mu.Unlock()
+	a.noiseCall.Store(0)
 }
 
 // DisableNoise restores deterministic detection.
-func (a *Accelerator) DisableNoise() { a.noise = nil }
+func (a *Accelerator) DisableNoise() {
+	a.mu.Lock()
+	a.noiseOn = false
+	a.mu.Unlock()
+}
 
 // Precision returns the converter bit depth.
-func (a *Accelerator) Precision() int { return a.quant.Bits }
+func (a *Accelerator) Precision() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.quant.Bits
+}
 
 // BlockSize returns the compute partition size.
 func (a *Accelerator) BlockSize() int { return a.blockSize }
 
+// NumPartitions returns the number of independent compute partitions the
+// fabric is carved into (ports/blockSize).
+func (a *Accelerator) NumPartitions() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.partitions)
+}
+
+// SetWorkers sets the number of concurrent workers used by MatMul/Conv2D,
+// clamped to [1, NumPartitions]. The default is NumPartitions. Noiseless
+// results are bitwise-identical for every worker count.
+func (a *Accelerator) SetWorkers(n int) {
+	a.mu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	if n > len(a.partitions) {
+		n = len(a.partitions)
+	}
+	a.workers = n
+	a.mu.Unlock()
+}
+
+// Workers returns the configured worker count.
+func (a *Accelerator) Workers() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.workers
+}
+
+// SetProgramCacheSize resizes the weight-program cache to hold up to n
+// compiled block programs (default DefaultProgramCacheSize). n ≤ 0
+// disables caching. Resizing clears the cache and its statistics.
+func (a *Accelerator) SetProgramCacheSize(n int) {
+	a.mu.Lock()
+	if n <= 0 {
+		a.cache = nil
+	} else {
+		a.cache = newProgramCache(n)
+	}
+	a.mu.Unlock()
+}
+
+// ProgramCacheStats reports hit/miss/eviction counts and occupancy of the
+// weight-program cache (zero value when caching is disabled).
+func (a *Accelerator) ProgramCacheStats() CacheStats {
+	a.mu.RLock()
+	c := a.cache
+	a.mu.RUnlock()
+	if c == nil {
+		return CacheStats{}
+	}
+	return c.stats()
+}
+
 // EnergyPJ returns the accumulated photonic compute energy (Fig. 12b
 // model).
-func (a *Accelerator) EnergyPJ() float64 { return a.energyPJ }
+func (a *Accelerator) EnergyPJ() float64 { return a.meter.EnergyPJ() }
 
 // Stats returns the phase-programming and vector-batch counts.
-func (a *Accelerator) Stats() (programs, batches int64) { return a.programs, a.batches }
+func (a *Accelerator) Stats() (programs, batches int64) { return a.meter.Counts() }
 
 // MatVec computes y = M·x photonically. M is row-major.
 func (a *Accelerator) MatVec(m [][]float64, x []float64) ([]float64, error) {
 	if len(m) == 0 || len(m[0]) != len(x) {
 		return nil, fmt.Errorf("flumen: MatVec dimension mismatch: %d×%d · %d", len(m), colsOf(m), len(x))
 	}
-	cols := [][]float64{x}
-	out, err := a.MatMul(m, transpose(cols))
+	xd := mat.New(len(x), 1)
+	for i, v := range x {
+		xd.Set(i, 0, complex(v, 0))
+	}
+	out, err := a.matMul(realDense(m), xd)
 	if err != nil {
 		return nil, err
 	}
-	y := make([]float64, len(out))
-	for i := range out {
-		y[i] = out[i][0]
+	y := make([]float64, len(m))
+	for i := range y {
+		y[i] = real(out.At(i, 0))
 	}
 	return y, nil
 }
 
 // MatMul computes C = M·X photonically, batching up to 8 columns of X per
-// programmed block (the WDM-parallel MVMs of Sec 3.3.1).
+// programmed block (the WDM-parallel MVMs of Sec 3.3.1). Block work items
+// run across the partition pool; see engine.go for the dispatch and
+// determinism story.
 func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
 	rows, inner := len(m), colsOf(m)
 	if rows == 0 || inner == 0 {
@@ -112,71 +237,9 @@ func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
 		return nil, fmt.Errorf("flumen: MatMul dimension mismatch: %d×%d · %d×%d", rows, inner, len(x), colsOf(x))
 	}
 	nrhs := colsOf(x)
-	md := realDense(m)
-	xd := realDense(x)
-
-	n := a.blockSize
-	pm := mat.PadTo(md, n)
-	px := mat.PadTo(xd, n)
-	bi := pm.Rows() / n
-	bj := pm.Cols() / n
-	out := mat.New(pm.Rows(), px.Cols())
-
-	for c := 0; c < bj; c++ {
-		for r := 0; r < bi; r++ {
-			blk := mat.Block(pm, n, r, c)
-			if err := a.partition.ProgramScaled(blk); err != nil {
-				return nil, err
-			}
-			a.programs++
-			a.energyPJ += a.ep.FlumenProgramPJ(n)
-			// Stream the right-hand-side columns in λ batches.
-			for v0 := 0; v0 < nrhs; v0 += a.lambdas {
-				v1 := min(v0+a.lambdas, nrhs)
-				for v := v0; v < v1; v++ {
-					seg := make([]complex128, n)
-					for i := 0; i < n; i++ {
-						seg[i] = px.At(c*n+i, v)
-					}
-					// Scale inputs into the modulator's full-scale range and
-					// quantize at the DAC.
-					scale := maxAbs(seg)
-					if scale == 0 {
-						continue
-					}
-					for i := range seg {
-						seg[i] /= complex(scale, 0)
-					}
-					a.quant.QuantizeComplexVec(seg)
-					res := a.partition.MVM(seg)
-					if a.noise != nil {
-						for i := range res {
-							res[i] = complex(a.noise.Apply(real(res[i])), a.noise.Apply(imag(res[i])))
-						}
-					}
-					// ADC quantization of detected outputs, in the
-					// normalized (pre-spectral-rescale) domain. A
-					// unit-spectral-norm block driven by |x|∞ ≤ 1 inputs
-					// can emit field amplitudes up to √n, so the ADC full
-					// scale is sized to √n.
-					if a.partition.Scale != 0 {
-						adc := optics.NewQuantizer(a.quant.Bits, math.Sqrt(float64(n)))
-						for i := range res {
-							res[i] /= complex(a.partition.Scale, 0)
-						}
-						adc.QuantizeComplexVec(res)
-						for i := range res {
-							res[i] *= complex(a.partition.Scale, 0)
-						}
-					}
-					for i := 0; i < n; i++ {
-						out.Set(r*n+i, v, out.At(r*n+i, v)+res[i]*complex(scale, 0))
-					}
-				}
-				a.batches++
-				a.energyPJ += a.ep.FlumenVectorsPJ(n, v1-v0)
-			}
-		}
+	out, err := a.matMul(realDense(m), realDense(x))
+	if err != nil {
+		return nil, err
 	}
 	// Truncate padding and convert to real.
 	result := make([][]float64, rows)
@@ -192,7 +255,9 @@ func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
 // Conv2D convolves a stack of input channels with a set of kernels on the
 // photonic fabric, using the im2col lowering of Fig. 7: the kernel matrix
 // is programmed into mesh partitions block by block and every receptive
-// field streams through as an optical input vector.
+// field streams through as an optical input vector. Because the kernel
+// matrix is identical across calls, its block programs hit the weight
+// cache and repeated convolutions skip the SVD + Clements decomposition.
 //
 // input is indexed [channel][y][x]; kernels is indexed
 // [kernel][channel][ky][kx]. The result is indexed [kernel][y][x] with
@@ -232,7 +297,7 @@ func (a *Accelerator) Conv2D(input [][][]float64, kernels [][][][]float64, strid
 	}
 	km := workload.KernelMatrix(shape, ravel)
 	cols := workload.Im2Col(shape, vol)
-	prod, err := a.MatMul(denseToFloat(km), denseToFloat(cols))
+	prod, err := a.matMul(km, cols)
 	if err != nil {
 		return nil, err
 	}
@@ -242,42 +307,35 @@ func (a *Accelerator) Conv2D(input [][][]float64, kernels [][][][]float64, strid
 		for y := range out[k] {
 			out[k][y] = make([]float64, shape.OutW())
 			for x := range out[k][y] {
-				out[k][y][x] = prod[k][y*shape.OutW()+x]
+				out[k][y][x] = real(prod.At(k, y*shape.OutW()+x))
 			}
 		}
 	}
 	return out, nil
 }
 
-func denseToFloat(d *mat.Dense) [][]float64 {
-	out := make([][]float64, d.Rows())
-	for i := range out {
-		out[i] = make([]float64, d.Cols())
-		for j := range out[i] {
-			out[i][j] = real(d.At(i, j))
-		}
-	}
-	return out
-}
-
 // RoutePermutation demonstrates the fabric's communication mode: it routes
 // input port i to output perm[i] and returns the per-port MZI path counts
-// whose spread the attenuator column equalizes.
+// whose spread the attenuator column equalizes. It waits for all in-flight
+// compute work to drain before reconfiguring the fabric.
 func (a *Accelerator) RoutePermutation(perm []int) ([]int, error) {
 	if len(perm) != a.fabric.N() {
 		return nil, fmt.Errorf("flumen: permutation length %d, fabric has %d ports", len(perm), a.fabric.N())
+	}
+	// Take every partition out of the pool so no worker is mid-flight while
+	// the fabric is re-routed; buildPartitions refills the same channel.
+	for range a.partitions {
+		<-a.pool
 	}
 	a.fabric.RoutePermutation(perm)
 	counts := make([]int, len(perm))
 	for src := range perm {
 		counts[src], _ = a.fabric.PathMZICount(src)
 	}
-	// Restore the compute partition (routing reset the fabric).
-	part, err := a.fabric.NewPartition(0, a.blockSize)
-	if err != nil {
+	// Restore the compute partitions (routing reset the fabric).
+	if err := a.buildPartitions(); err != nil {
 		return nil, err
 	}
-	a.partition = part
 	return counts, nil
 }
 
@@ -289,18 +347,6 @@ func colsOf(m [][]float64) int {
 		return 0
 	}
 	return len(m[0])
-}
-
-func transpose(m [][]float64) [][]float64 {
-	r, c := len(m), colsOf(m)
-	out := make([][]float64, c)
-	for j := 0; j < c; j++ {
-		out[j] = make([]float64, r)
-		for i := 0; i < r; i++ {
-			out[j][i] = m[i][j]
-		}
-	}
-	return out
 }
 
 func realDense(m [][]float64) *mat.Dense {

@@ -463,6 +463,103 @@ func BenchmarkFullSystemJPEG(b *testing.B) {
 	}
 }
 
+// --- Engine benches (parallel compute engine & program cache) ---
+
+// BenchmarkEngineMatMul measures the accelerator's MatMul at 64×64 and
+// 256×256 with the serial path (1 worker) versus the full partition pool,
+// cache disabled so the per-block SVD + Clements cost is on the measured
+// path. `cmd/flumen-bench -engine` derives the speedup table from the
+// same comparison.
+func BenchmarkEngineMatMul(b *testing.B) {
+	for _, size := range []int{64, 256} {
+		rng := rand.New(rand.NewSource(31))
+		m := randMatrix(rng, size, size)
+		x := randMatrix(rng, size, size)
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("%dx%d/%s", size, size, mode.name), func(b *testing.B) {
+				a, err := NewAccelerator(64, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.SetProgramCacheSize(0) // measure the uncached path
+				if mode.workers > 0 {
+					a.SetWorkers(mode.workers)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := a.MatMul(m, x); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(a.Workers()), "workers")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineConv2DCache measures a small convolution (kernel
+// programming dominates) cold — cache cleared every iteration — versus
+// warm, where every block program is served from the weight cache and the
+// SVD + Clements decomposition is skipped.
+func BenchmarkEngineConv2DCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	input := make([][][]float64, 3)
+	for c := range input {
+		input[c] = make([][]float64, 4)
+		for y := range input[c] {
+			input[c][y] = make([]float64, 4)
+			for x := range input[c][y] {
+				input[c][y][x] = rng.NormFloat64()
+			}
+		}
+	}
+	kernels := make([][][][]float64, 8)
+	for k := range kernels {
+		kernels[k] = make([][][]float64, 3)
+		for c := range kernels[k] {
+			kernels[k][c] = make([][]float64, 3)
+			for y := range kernels[k][c] {
+				kernels[k][c][y] = make([]float64, 3)
+				for x := range kernels[k][c][y] {
+					kernels[k][c][y][x] = rng.NormFloat64()
+				}
+			}
+		}
+	}
+	conv := func(b *testing.B, a *Accelerator) {
+		if _, err := a.Conv2D(input, kernels, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		a, err := NewAccelerator(16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			a.SetProgramCacheSize(DefaultProgramCacheSize) // clear: next call recompiles
+			b.StartTimer()
+			conv(b, a)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		a, err := NewAccelerator(16, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conv(b, a) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			conv(b, a)
+		}
+	})
+}
+
 // BenchmarkAblationInSituOptimization quantifies how much fidelity the
 // measurement-in-the-loop optimizer ([33] Pai et al.) recovers from
 // coupler-imbalanced hardware, versus open-loop Clements programming.

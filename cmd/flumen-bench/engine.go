@@ -1,0 +1,193 @@
+package main
+
+// The -engine mode times the accelerator's parallel compute engine and
+// weight-program cache directly (no testing.B harness) so the results can
+// land in BENCH_engine.json for tracking: serial (1 worker) versus pooled
+// MatMul at 64×64 and 256×256 with the cache disabled, and cold versus
+// warm-cache Conv2D. It also asserts the engine's determinism guarantee —
+// the parallel product must be bitwise-equal to the serial one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"flumen"
+)
+
+type engineMatMulResult struct {
+	Size       int     `json:"size"`
+	Workers    int     `json:"workers"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	Bitwise    bool    `json:"bitwise_equal"`
+}
+
+type engineConvResult struct {
+	ColdMS  float64 `json:"cold_ms"`
+	WarmMS  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+type engineReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	MatMul     []engineMatMulResult `json:"matmul"`
+	Conv2D     engineConvResult     `json:"conv2d"`
+}
+
+func randMatrix(rng *rand.Rand, r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// timeIt returns the best-of-reps wall time of f in milliseconds.
+func timeIt(reps int, f func() error) (float64, error) {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if i == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+func runEngineBench(outPath string) error {
+	report := engineReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	for _, size := range []int{64, 256} {
+		rng := rand.New(rand.NewSource(31))
+		m := randMatrix(rng, size, size)
+		x := randMatrix(rng, size, size)
+
+		serial, err := flumen.NewAccelerator(64, 8)
+		if err != nil {
+			return err
+		}
+		serial.SetProgramCacheSize(0)
+		serial.SetWorkers(1)
+		parallel, err := flumen.NewAccelerator(64, 8)
+		if err != nil {
+			return err
+		}
+		parallel.SetProgramCacheSize(0)
+
+		var serialOut, parallelOut [][]float64
+		serialMS, err := timeIt(3, func() error {
+			var e error
+			serialOut, e = serial.MatMul(m, x)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		parallelMS, err := timeIt(3, func() error {
+			var e error
+			parallelOut, e = parallel.MatMul(m, x)
+			return e
+		})
+		if err != nil {
+			return err
+		}
+		bitwise := true
+		for i := range serialOut {
+			for j := range serialOut[i] {
+				if serialOut[i][j] != parallelOut[i][j] {
+					bitwise = false
+				}
+			}
+		}
+		if !bitwise {
+			return fmt.Errorf("engine bench: parallel %d×%d product is not bitwise-equal to serial", size, size)
+		}
+		res := engineMatMulResult{
+			Size:       size,
+			Workers:    parallel.Workers(),
+			SerialMS:   serialMS,
+			ParallelMS: parallelMS,
+			Speedup:    serialMS / parallelMS,
+			Bitwise:    bitwise,
+		}
+		report.MatMul = append(report.MatMul, res)
+		fmt.Printf("MatMul %dx%d: serial %.2f ms, parallel(%d workers) %.2f ms, speedup %.2fx, bitwise-equal %v\n",
+			size, size, res.SerialMS, res.Workers, res.ParallelMS, res.Speedup, res.Bitwise)
+	}
+
+	// Cold vs warm Conv2D: small spatial extent so block programming
+	// dominates and the cache's skipped decompositions show directly.
+	rng := rand.New(rand.NewSource(32))
+	input := make([][][]float64, 3)
+	for c := range input {
+		input[c] = make([][]float64, 4)
+		for y := range input[c] {
+			input[c][y] = make([]float64, 4)
+			for xx := range input[c][y] {
+				input[c][y][xx] = rng.NormFloat64()
+			}
+		}
+	}
+	kernels := make([][][][]float64, 8)
+	for k := range kernels {
+		kernels[k] = make([][][]float64, 3)
+		for c := range kernels[k] {
+			kernels[k][c] = make([][]float64, 3)
+			for y := range kernels[k][c] {
+				kernels[k][c][y] = make([]float64, 3)
+				for xx := range kernels[k][c][y] {
+					kernels[k][c][y][xx] = rng.NormFloat64()
+				}
+			}
+		}
+	}
+	a, err := flumen.NewAccelerator(16, 8)
+	if err != nil {
+		return err
+	}
+	conv := func() error {
+		_, e := a.Conv2D(input, kernels, 1, 1)
+		return e
+	}
+	coldMS, err := timeIt(3, func() error {
+		a.SetProgramCacheSize(flumen.DefaultProgramCacheSize) // clear: recompile everything
+		return conv()
+	})
+	if err != nil {
+		return err
+	}
+	if err := conv(); err != nil { // prime
+		return err
+	}
+	warmMS, err := timeIt(3, conv)
+	if err != nil {
+		return err
+	}
+	report.Conv2D = engineConvResult{ColdMS: coldMS, WarmMS: warmMS, Speedup: coldMS / warmMS}
+	fmt.Printf("Conv2D: cold %.3f ms, warm %.3f ms, speedup %.2fx\n", coldMS, warmMS, report.Conv2D.Speedup)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

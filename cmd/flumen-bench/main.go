@@ -7,9 +7,13 @@
 // Usage:
 //
 //	flumen-bench [-benchmark name] [-scale n] [-energy] [-speedup] [-edp]
+//	flumen-bench -engine [-engineout file]
 //
 // With no selector flags all three tables print. -scale shrinks the
-// workloads by the given linear factor for quick runs.
+// workloads by the given linear factor for quick runs. -engine instead
+// times the parallel compute engine (serial vs pooled MatMul, cold vs
+// warm-cache Conv2D) and writes the results to -engineout
+// (BENCH_engine.json by default).
 package main
 
 import (
@@ -31,7 +35,17 @@ func main() {
 	speedupOnly := flag.Bool("speedup", false, "print only the Fig. 14 speedup table")
 	edpOnly := flag.Bool("edp", false, "print only the Fig. 15 EDP table")
 	jsonOut := flag.Bool("json", false, "emit the full result grid as JSON")
+	engine := flag.Bool("engine", false, "benchmark the parallel compute engine and program cache")
+	engineOut := flag.String("engineout", "BENCH_engine.json", "output file for -engine results")
 	flag.Parse()
+
+	if *engine {
+		if err := runEngineBench(*engineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := flumen.DefaultConfig()
 	var loads []workload.Workload

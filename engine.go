@@ -1,0 +1,361 @@
+package flumen
+
+import (
+	"container/list"
+	"math"
+	"math/rand"
+	"sync"
+
+	"flumen/internal/mat"
+	"flumen/internal/optics"
+	"flumen/internal/photonic"
+)
+
+// This file is the accelerator's parallel compute engine. A padded
+// matrix-matrix product decomposes into (block-row, block-col) work items;
+// each item compiles (or fetches from the weight-program cache) the
+// block's SVD + Clements program, applies it to a fabric partition checked
+// out of the pool, and streams the right-hand-side columns through the
+// compiled lattice.
+//
+// Determinism guarantees:
+//   - Work item idx = c*bi + r is assigned to worker idx % workers, and the
+//     per-item partial results are merged serially in ascending idx order —
+//     the exact accumulation order of the serial path. Combined with the
+//     partition-independent BlockProgram propagation, noiseless outputs are
+//     bitwise-identical for every worker count.
+//   - Noise draws come from a per-item stream seeded by
+//     (noiseSeed, call number, block row, block col), so EnableNoise(seed)
+//     reproduces a run exactly regardless of scheduling.
+//   - Energy/program/batch counters are accumulated per item and merged in
+//     the same deterministic order into a mutex-guarded Meter, keeping the
+//     totals exact under concurrency.
+
+// DefaultProgramCacheSize is the default capacity (in compiled block
+// programs) of the weight-program cache.
+const DefaultProgramCacheSize = 256
+
+// callConfig is the immutable per-call snapshot of the accelerator's
+// tunable state, taken once so concurrent setter calls cannot tear a
+// matMul in progress.
+type callConfig struct {
+	dac       optics.Quantizer
+	adc       optics.Quantizer
+	workers   int
+	noiseOn   bool
+	noiseSeed int64
+	noiseCall int64
+	lambdas   int
+	cache     *programCache
+}
+
+// itemResult is one work item's contribution: the block's partial output
+// columns (flat [v*n+i], already multiplied by each column's modulator
+// scale) plus its energy and batch accounting.
+type itemResult struct {
+	out       []complex128
+	programPJ float64
+	vectorPJ  float64
+	batches   int64
+}
+
+// workerScratch holds per-worker reusable buffers so the streaming loop
+// performs no per-column allocation.
+type workerScratch struct {
+	seg []complex128
+	res []complex128
+}
+
+func newScratch(n int) *workerScratch {
+	return &workerScratch{seg: make([]complex128, n), res: make([]complex128, n)}
+}
+
+// matMul computes the padded product pm·px across the partition pool and
+// returns it as a padded complex matrix (callers truncate and project).
+func (a *Accelerator) matMul(md, xd *mat.Dense) (*mat.Dense, error) {
+	n := a.blockSize
+	pm := mat.PadTo(md, n)
+	px := mat.PadTo(xd, n)
+	bi := pm.Rows() / n
+	bj := pm.Cols() / n
+	nrhs := xd.Cols()
+
+	a.mu.RLock()
+	cfg := callConfig{
+		dac:       a.quant,
+		workers:   a.workers,
+		noiseOn:   a.noiseOn,
+		noiseSeed: a.noiseSeed,
+		lambdas:   a.lambdas,
+		cache:     a.cache,
+	}
+	a.mu.RUnlock()
+	// ADC full scale: a unit-spectral-norm block driven by |x|∞ ≤ 1 inputs
+	// can emit field amplitudes up to √n. Built once per call — it is
+	// invariant across blocks and columns.
+	cfg.adc = optics.NewQuantizer(cfg.dac.Bits, math.Sqrt(float64(n)))
+	if cfg.noiseOn {
+		cfg.noiseCall = a.noiseCall.Add(1)
+	}
+
+	items := bi * bj
+	results := make([]itemResult, items)
+	workers := min(cfg.workers, items)
+
+	if workers <= 1 {
+		p := <-a.pool
+		scratch := newScratch(n)
+		var err error
+		for idx := 0; idx < items && err == nil; idx++ {
+			c, r := idx/bi, idx%bi
+			err = a.computeItem(p, scratch, pm, px, r, c, nrhs, &cfg, &results[idx])
+		}
+		a.pool <- p
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				p := <-a.pool
+				defer func() { a.pool <- p }()
+				scratch := newScratch(n)
+				for idx := g; idx < items; idx += workers {
+					c, r := idx/bi, idx%bi
+					if err := a.computeItem(p, scratch, pm, px, r, c, nrhs, &cfg, &results[idx]); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Merge the per-item partials serially in the serial path's (c outer,
+	// r inner) order so the float accumulation — and hence the result — is
+	// bitwise-independent of the worker count.
+	out := mat.New(pm.Rows(), px.Cols())
+	var programs, batches int64
+	var pj float64
+	for c := 0; c < bj; c++ {
+		for r := 0; r < bi; r++ {
+			res := &results[c*bi+r]
+			for v := 0; v < nrhs; v++ {
+				for i := 0; i < n; i++ {
+					out.Set(r*n+i, v, out.At(r*n+i, v)+res.out[v*n+i])
+				}
+			}
+			programs++
+			batches += res.batches
+			pj += res.programPJ + res.vectorPJ
+		}
+	}
+	a.meter.Add(pj, programs, batches)
+	return out, nil
+}
+
+// computeItem executes one (block-row r, block-col c) work item on
+// partition p: fetch or compile the block's weight program, apply it to
+// the fabric, and stream the nrhs right-hand-side columns through the
+// compiled lattice in λ batches.
+func (a *Accelerator) computeItem(p *photonic.Partition, s *workerScratch, pm, px *mat.Dense, r, c, nrhs int, cfg *callConfig, res *itemResult) error {
+	n := a.blockSize
+	blk := mat.Block(pm, n, r, c)
+	bp, err := a.programFor(blk, cfg.cache)
+	if err != nil {
+		return err
+	}
+	// Physically program the partition (phase settings are always
+	// re-applied; only the decomposition is amortized by the cache), so
+	// energy accounting and fabric state match the device model.
+	if err := p.Apply(bp); err != nil {
+		return err
+	}
+	res.programPJ = a.ep.FlumenProgramPJ(n)
+	res.out = make([]complex128, nrhs*n)
+
+	var noise *optics.NoiseModel
+	if cfg.noiseOn {
+		src := rand.NewSource(noiseStreamSeed(cfg.noiseSeed, cfg.noiseCall, r, c))
+		nm := optics.DefaultNoise(1, rand.New(src))
+		noise = &nm
+	}
+	scaleC := complex(bp.Scale, 0)
+
+	// Stream the right-hand-side columns in λ batches.
+	for v0 := 0; v0 < nrhs; v0 += cfg.lambdas {
+		v1 := min(v0+cfg.lambdas, nrhs)
+		for v := v0; v < v1; v++ {
+			seg := s.seg
+			for i := 0; i < n; i++ {
+				seg[i] = px.At(c*n+i, v)
+			}
+			// Scale inputs into the modulator's full-scale range and
+			// quantize at the DAC.
+			scale := maxAbs(seg)
+			if scale == 0 {
+				continue
+			}
+			for i := range seg {
+				seg[i] /= complex(scale, 0)
+			}
+			cfg.dac.QuantizeComplexVec(seg)
+			// Propagate through the compiled lattice rather than the
+			// physical partition: the result is identical math but does not
+			// depend on the partition's wire offset, which is what makes
+			// parallel output bitwise-equal to serial.
+			out := bp.ForwardInto(s.res, seg)
+			if bp.Scale != 1 {
+				for i := range out {
+					out[i] *= scaleC
+				}
+			}
+			if noise != nil {
+				for i := range out {
+					out[i] = complex(noise.Apply(real(out[i])), noise.Apply(imag(out[i])))
+				}
+			}
+			// ADC quantization of detected outputs, in the normalized
+			// (pre-spectral-rescale) domain.
+			if bp.Scale != 0 {
+				for i := range out {
+					out[i] /= scaleC
+				}
+				cfg.adc.QuantizeComplexVec(out)
+				for i := range out {
+					out[i] *= scaleC
+				}
+			}
+			dst := res.out[v*n : (v+1)*n]
+			for i := 0; i < n; i++ {
+				dst[i] = out[i] * complex(scale, 0)
+			}
+		}
+		res.batches++
+		res.vectorPJ += a.ep.FlumenVectorsPJ(n, v1-v0)
+	}
+	return nil
+}
+
+// programFor resolves the weight program for a padded block, through the
+// cache when one is configured. Concurrent misses on the same key compile
+// independently and the last put wins; compilation is deterministic, so
+// every copy is interchangeable.
+func (a *Accelerator) programFor(blk *mat.Dense, cache *programCache) (*photonic.BlockProgram, error) {
+	if cache == nil {
+		return photonic.CompileBlockScaled(blk)
+	}
+	key := blk.Fingerprint()
+	if bp, ok := cache.get(key); ok {
+		return bp, nil
+	}
+	bp, err := photonic.CompileBlockScaled(blk)
+	if err != nil {
+		return nil, err
+	}
+	cache.put(key, bp)
+	return bp, nil
+}
+
+// noiseStreamSeed derives the RNG seed of one work item's noise stream
+// from the run seed, the matMul call number, and the block coordinates
+// (splitmix64-style mixing), decoupling noise reproducibility from worker
+// scheduling.
+func noiseStreamSeed(seed, call int64, r, c int) int64 {
+	z := uint64(seed)
+	z ^= 0x9e3779b97f4a7c15 * uint64(call+1)
+	z ^= 0xbf58476d1ce4e5b9 * uint64(r+1)
+	z ^= 0x94d049bb133111eb * uint64(c+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// CacheStats reports weight-program cache effectiveness.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int
+}
+
+// programCache is a mutex-guarded LRU of compiled block programs keyed by
+// the exact bit-level fingerprint of the padded block, so a hit is
+// guaranteed to return the identical program a fresh compile would.
+type programCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	index     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	bp  *photonic.BlockProgram
+}
+
+func newProgramCache(capacity int) *programCache {
+	return &programCache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[string]*list.Element),
+	}
+}
+
+func (pc *programCache) get(key string) (*photonic.BlockProgram, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.index[key]; ok {
+		pc.ll.MoveToFront(el)
+		pc.hits++
+		return el.Value.(*cacheEntry).bp, true
+	}
+	pc.misses++
+	return nil, false
+}
+
+func (pc *programCache) put(key string, bp *photonic.BlockProgram) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.index[key]; ok {
+		el.Value.(*cacheEntry).bp = bp
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.index[key] = pc.ll.PushFront(&cacheEntry{key: key, bp: bp})
+	for pc.ll.Len() > pc.capacity {
+		back := pc.ll.Back()
+		pc.ll.Remove(back)
+		delete(pc.index, back.Value.(*cacheEntry).key)
+		pc.evictions++
+	}
+}
+
+func (pc *programCache) stats() CacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return CacheStats{
+		Hits:      pc.hits,
+		Misses:    pc.misses,
+		Evictions: pc.evictions,
+		Entries:   pc.ll.Len(),
+		Capacity:  pc.capacity,
+	}
+}

@@ -1,5 +1,10 @@
 package mat
 
+import (
+	"encoding/binary"
+	"math"
+)
+
 // This file implements the zero-padding and block-partition machinery of
 // Eq. (2) and Eq. (3) in the Flumen paper: an arbitrary n×m matrix M is
 // zero-padded to the nearest multiple of the mesh size N along both
@@ -49,6 +54,23 @@ func Block(m *Dense, n, bi, bj int) *Dense {
 		copy(out.data[i*n:(i+1)*n], m.data[src:src+n])
 	}
 	return out
+}
+
+// Fingerprint returns an exact content key for the matrix: its dimensions
+// followed by the raw IEEE-754 bits of every element. Two matrices share a
+// fingerprint if and only if they are bit-identical (so ±0 and equal-but-
+// differently-rounded values are distinguished — exact, collision-free, and
+// conservative). It is the weight-program cache key of the accelerator's
+// compute engine.
+func (m *Dense) Fingerprint() string {
+	b := make([]byte, 0, 16+16*len(m.data))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.rows))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.cols))
+	for _, v := range m.data {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(real(v)))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(imag(v)))
+	}
+	return string(b)
 }
 
 // BlockGrid reports the number of block rows and block columns for matrix m

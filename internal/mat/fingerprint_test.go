@@ -1,0 +1,39 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFingerprintDistinguishesContent(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical matrices have different fingerprints")
+	}
+	b.Set(1, 1, 1e-300)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("matrices differing by one tiny element share a fingerprint")
+	}
+}
+
+func TestFingerprintEncodesShape(t *testing.T) {
+	// Same flat data, different shape: must not collide.
+	a := New(2, 3)
+	b := New(3, 2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("2×3 and 3×2 zero matrices share a fingerprint")
+	}
+}
+
+func TestFingerprintIsBitExact(t *testing.T) {
+	a := New(1, 1)
+	b := New(1, 1)
+	a.Set(0, 0, complex(0, 0))
+	b.Set(0, 0, complex(math.Copysign(0, -1), 0))
+	// +0 and -0 compare equal but are distinct programs' keys; the raw-bit
+	// fingerprint keeps them apart (conservative: never a false hit).
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("+0 and -0 share a fingerprint")
+	}
+}

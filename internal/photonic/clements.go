@@ -219,6 +219,25 @@ func (m *Mesh) ProgramUnitary(u *mat.Dense) {
 	}
 }
 
+// decomposeToSlots factors the unitary u with the Clements algorithm and
+// packs the resulting op list into the rectangular `size`-column lattice,
+// returning the slot map (keyed {relativeColumn, relativeTopWire}) and the
+// output phase screen. It is the shared front half of mesh programming and
+// of the reusable BlockProgram artifact (program.go): everything it returns
+// is geometry-independent and can be re-applied to any same-size partition
+// without re-deriving phases.
+func decomposeToSlots(u *mat.Dense, size int) (map[[2]int]MZI, []complex128, error) {
+	ops, d, err := Decompose(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	slots, err := assignSlots(ops, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slots, d, nil
+}
+
 // assignSlots packs a physically ordered op list for a size-input mesh into
 // the rectangular lattice of `size` columns using greedy frontier packing.
 // Keys are {relativeColumn, relativeTopWire}, where slots exist when the two

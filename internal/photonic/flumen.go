@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"flumen/internal/mat"
 )
@@ -25,6 +26,11 @@ type FlumenMesh struct {
 	n     int
 	mesh  *Mesh
 	atten []Attenuator
+	// mu guards the partition registry. Device state itself is not locked:
+	// concurrent partition programming is safe because each partition writes
+	// only the MZIs, attenuators and output phases of its own wire range,
+	// which are disjoint between partitions.
+	mu sync.Mutex
 	// parts tracks active compute partitions keyed by their low wire.
 	parts map[int]*Partition
 }
@@ -89,7 +95,9 @@ func (f *FlumenMesh) Reset() {
 	for i := range f.atten {
 		f.atten[i] = Unit()
 	}
+	f.mu.Lock()
 	f.parts = make(map[int]*Partition)
+	f.mu.Unlock()
 }
 
 // ProgramUnitary programs the whole fabric as one large unitary (compute or
@@ -207,6 +215,8 @@ func (f *FlumenMesh) NewPartition(lo, size int) (*Partition, error) {
 	if size > f.n/2 {
 		return nil, fmt.Errorf("photonic: partition size %d exceeds N/2 = %d", size, f.n/2)
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, p := range f.parts {
 		if lo < p.Lo+p.Size && p.Lo < lo+size {
 			return nil, fmt.Errorf("photonic: partition [%d,%d) overlaps existing [%d,%d)", lo, lo+size, p.Lo, p.Lo+p.Size)
@@ -250,7 +260,9 @@ func (f *FlumenMesh) setBarrier(m int) {
 // Release removes the partition, returning its wires to the communication
 // pool (the fabric devices keep their last state until re-routed).
 func (p *Partition) Release() {
+	p.f.mu.Lock()
 	delete(p.f.parts, p.Lo)
+	p.f.mu.Unlock()
 }
 
 // Program configures the partition to implement the Size×Size matrix m,
@@ -259,32 +271,31 @@ func (p *Partition) Release() {
 // parasitic per-wire phases (-1 on bar bottom arms), which are propagated
 // forward and absorbed into downstream programmable MZIs, the attenuator
 // settings, and the output phase screen.
+//
+// Program is CompileBlock followed by Apply; callers that stream the same
+// weights repeatedly should compile once and re-Apply the cached artifact.
 func (p *Partition) Program(m *mat.Dense) error {
 	if m.Rows() != p.Size || m.Cols() != p.Size {
 		return fmt.Errorf("photonic: partition is %d-input, matrix is %d×%d", p.Size, m.Rows(), m.Cols())
 	}
-	svd := mat.SVD(m)
-	for _, sv := range svd.Sigma {
-		if sv > 1+1e-9 {
-			return fmt.Errorf("photonic: singular value %g > 1; use ProgramScaled", sv)
-		}
-	}
-	vOps, dV, err := Decompose(svd.V.Adjoint())
-	if err != nil {
-		return fmt.Errorf("photonic: V* decomposition: %w", err)
-	}
-	uOps, dU, err := Decompose(svd.U)
-	if err != nil {
-		return fmt.Errorf("photonic: U decomposition: %w", err)
-	}
-	vSlots, err := assignSlots(vOps, p.Size)
+	bp, err := CompileBlock(m)
 	if err != nil {
 		return err
 	}
-	uSlots, err := assignSlots(uOps, p.Size)
-	if err != nil {
-		return err
+	return p.Apply(bp)
+}
+
+// Apply programs the partition from a precompiled BlockProgram, re-deriving
+// only the cheap parasitic-phase absorption; the SVD and Clements
+// decompositions are reused from the artifact. Applying the same program to
+// partitions at different offsets realizes the same transform (the absorbed
+// phases cancel exactly). Concurrent Apply calls on distinct partitions of
+// one fabric are safe: each writes only its own wire range.
+func (p *Partition) Apply(bp *BlockProgram) error {
+	if bp.Size != p.Size {
+		return fmt.Errorf("photonic: partition is %d-input, program is %d-input", p.Size, bp.Size)
 	}
+	vSlots, uSlots := bp.vSlots, bp.uSlots
 	n := p.f.n
 	cV0 := n/2 - p.Size
 	cU0 := n / 2
@@ -333,7 +344,7 @@ func (p *Partition) Program(m *mat.Dense) error {
 		// folding in V*'s phase screen and clearing pending phases.
 		if c == n/2-1 {
 			for i := 0; i < p.Size; i++ {
-				alpha := complex(svd.Sigma[i], 0) * dV[i] * cmplx.Conj(pend[i])
+				alpha := bp.alpha[i] * cmplx.Conj(pend[i])
 				p.f.atten[p.Lo+i] = NewAttenuator(alpha)
 				pend[i] = 1
 			}
@@ -341,9 +352,9 @@ func (p *Partition) Program(m *mat.Dense) error {
 	}
 	// Output phase screen: cancel pending phases and apply U's screen.
 	for i := 0; i < p.Size; i++ {
-		p.f.mesh.SetOutputPhase(p.Lo+i, dU[i]*cmplx.Conj(pend[i]))
+		p.f.mesh.SetOutputPhase(p.Lo+i, bp.du[i]*cmplx.Conj(pend[i]))
 	}
-	p.Scale = 1
+	p.Scale = bp.Scale
 	return nil
 }
 
@@ -351,19 +362,14 @@ func (p *Partition) Program(m *mat.Dense) error {
 // p.Scale; callers multiply MVM outputs by p.Scale (Sec 3.3.1). A zero
 // matrix programs the zero map with Scale 0.
 func (p *Partition) ProgramScaled(m *mat.Dense) error {
-	scale := mat.SpectralNorm(m)
-	if scale == 0 {
-		if err := p.Program(mat.New(p.Size, p.Size)); err != nil {
-			return err
-		}
-		p.Scale = 0
-		return nil
+	if m.Rows() != p.Size || m.Cols() != p.Size {
+		return fmt.Errorf("photonic: partition is %d-input, matrix is %d×%d", p.Size, m.Rows(), m.Cols())
 	}
-	if err := p.Program(mat.Scale(complex(1/scale, 0), m)); err != nil {
+	bp, err := CompileBlockScaled(m)
+	if err != nil {
 		return err
 	}
-	p.Scale = scale
-	return nil
+	return p.Apply(bp)
 }
 
 // absorbPending rewrites the intended MZI op so that incoming parasitic
@@ -425,11 +431,14 @@ func (f *FlumenMesh) RoutePermutationRange(wLo int, perm []int) {
 	if wLo < 0 || wLo+k > f.n {
 		panic("photonic: RoutePermutationRange out of range")
 	}
+	f.mu.Lock()
 	for _, p := range f.parts {
 		if wLo < p.Lo+p.Size && p.Lo < wLo+k {
+			f.mu.Unlock()
 			panic("photonic: RoutePermutationRange overlaps a compute partition")
 		}
 	}
+	f.mu.Unlock()
 	seen := make([]bool, k)
 	for _, d := range perm {
 		if d < 0 || d >= k || seen[d] {

@@ -1,0 +1,190 @@
+package photonic
+
+import (
+	"fmt"
+
+	"flumen/internal/mat"
+)
+
+// This file implements the reusable weight-program artifact behind the
+// accelerator's program cache: CompileBlock runs the expensive SVD +
+// Clements decomposition once and captures everything the fabric needs —
+// the placed MZI settings of the V* and U lattices, the Σ·dV attenuator
+// column, U's output phase screen and the spectral pre-scale — so the same
+// weights can be re-applied to any same-size partition (Partition.Apply)
+// or evaluated directly (Forward/MVM) without re-deriving phases.
+//
+// BlockProgram.Forward propagates E-fields through exactly the SVD-mesh
+// lattice of Fig. 4 (V* columns → Σ attenuators → U columns → phase
+// screen). Because the propagation depends only on the compiled artifact —
+// not on which fabric partition executes it — every partition produces
+// bit-identical results for the same program, which is what makes the
+// parallel engine's output independent of work scheduling.
+
+// progOp is one MZI application in a BlockProgram lattice, with its 2×2
+// transfer matrix precomputed so the propagation hot path is pure complex
+// arithmetic.
+type progOp struct {
+	w int // top wire of the pair the op acts on
+	t [2][2]complex128
+}
+
+// BlockProgram is a finished weight program for one Size×Size block: the
+// decomposition artifact produced by CompileBlock/CompileBlockScaled. It is
+// immutable after compilation and safe for concurrent use.
+type BlockProgram struct {
+	// Size is the block (partition) dimension the program targets.
+	Size int
+	// Scale is the spectral-norm factor recorded by CompileBlockScaled
+	// (1 for CompileBlock, 0 for an all-zero block): MVM outputs of the
+	// normalized lattice must be multiplied by it (Sec 3.3.1).
+	Scale float64
+	// Sigma holds the singular values of the normalized block.
+	Sigma []float64
+
+	// Placed MZI settings for the V* and U lattices, keyed
+	// {relativeColumn, relativeTopWire}; consumed by Partition.Apply.
+	vSlots, uSlots map[[2]int]MZI
+	// alpha is the attenuator column: Σ_i·dV_i (V*'s phase screen folded
+	// into the Σ stage, as the physical fabric realizes it).
+	alpha []complex128
+	// du is U's output phase screen.
+	du []complex128
+	// Column-ordered op lists with precomputed transfers for Forward.
+	vOps, uOps []progOp
+}
+
+// compileOps flattens a slot map into the physical column-major application
+// order with precomputed transfer matrices. Ops within one column act on
+// disjoint wire pairs, so this order realizes the lattice exactly.
+func compileOps(slots map[[2]int]MZI, size int) []progOp {
+	ops := make([]progOp, 0, len(slots))
+	for c := 0; c < size; c++ {
+		for w := c % 2; w <= size-2; w += 2 {
+			if op, ok := slots[[2]int{c, w}]; ok {
+				ops = append(ops, progOp{w: w, t: op.Transfer()})
+			}
+		}
+	}
+	return ops
+}
+
+// CompileBlock decomposes the Size×Size matrix m (whose singular values
+// must lie in [0, 1]) into a reusable weight program. The result realizes m
+// exactly up to numerical precision when applied to a partition or
+// evaluated with Forward.
+func CompileBlock(m *mat.Dense) (*BlockProgram, error) {
+	n := m.Rows()
+	if m.Cols() != n {
+		return nil, fmt.Errorf("photonic: CompileBlock requires a square matrix, got %d×%d", n, m.Cols())
+	}
+	svd := mat.SVD(m)
+	for _, sv := range svd.Sigma {
+		if sv > 1+1e-9 {
+			return nil, fmt.Errorf("photonic: singular value %g > 1; use CompileBlockScaled", sv)
+		}
+	}
+	vSlots, dV, err := decomposeToSlots(svd.V.Adjoint(), n)
+	if err != nil {
+		return nil, fmt.Errorf("photonic: V* decomposition: %w", err)
+	}
+	uSlots, dU, err := decomposeToSlots(svd.U, n)
+	if err != nil {
+		return nil, fmt.Errorf("photonic: U decomposition: %w", err)
+	}
+	alpha := make([]complex128, n)
+	for i := range alpha {
+		alpha[i] = complex(svd.Sigma[i], 0) * dV[i]
+	}
+	return &BlockProgram{
+		Size:   n,
+		Scale:  1,
+		Sigma:  svd.Sigma,
+		vSlots: vSlots,
+		uSlots: uSlots,
+		alpha:  alpha,
+		du:     dU,
+		vOps:   compileOps(vSlots, n),
+		uOps:   compileOps(uSlots, n),
+	}, nil
+}
+
+// CompileBlockScaled compiles m/‖m‖₂ and records the scale in Scale;
+// callers multiply MVM outputs by Scale (Sec 3.3.1). An all-zero block
+// compiles the zero map with Scale 0.
+func CompileBlockScaled(m *mat.Dense) (*BlockProgram, error) {
+	scale := mat.SpectralNorm(m)
+	if scale == 0 {
+		bp, err := CompileBlock(mat.New(m.Rows(), m.Cols()))
+		if err != nil {
+			return nil, err
+		}
+		bp.Scale = 0
+		return bp, nil
+	}
+	bp, err := CompileBlock(mat.Scale(complex(1/scale, 0), m))
+	if err != nil {
+		return nil, err
+	}
+	bp.Scale = scale
+	return bp, nil
+}
+
+// ForwardInto propagates the input E-fields through the compiled lattice
+// (V* columns, Σ·dV attenuators, U columns, output phase screen), writing
+// the normalized (unit-spectral-norm) output into dst and returning it.
+// dst and in must both have length Size and may not alias.
+func (bp *BlockProgram) ForwardInto(dst, in []complex128) []complex128 {
+	if len(in) != bp.Size || len(dst) != bp.Size {
+		panic(fmt.Sprintf("photonic: BlockProgram Forward lengths %d/%d, want %d", len(dst), len(in), bp.Size))
+	}
+	copy(dst, in)
+	for _, op := range bp.vOps {
+		a, b := dst[op.w], dst[op.w+1]
+		dst[op.w] = op.t[0][0]*a + op.t[0][1]*b
+		dst[op.w+1] = op.t[1][0]*a + op.t[1][1]*b
+	}
+	for i := range dst {
+		dst[i] *= bp.alpha[i]
+	}
+	for _, op := range bp.uOps {
+		a, b := dst[op.w], dst[op.w+1]
+		dst[op.w] = op.t[0][0]*a + op.t[0][1]*b
+		dst[op.w+1] = op.t[1][0]*a + op.t[1][1]*b
+	}
+	for i := range dst {
+		dst[i] *= bp.du[i]
+	}
+	return dst
+}
+
+// Forward propagates in through the lattice, returning a fresh output
+// vector in the normalized domain (no Scale rescale).
+func (bp *BlockProgram) Forward(in []complex128) []complex128 {
+	return bp.ForwardInto(make([]complex128, bp.Size), in)
+}
+
+// MVM performs the program's matrix-vector product including the
+// spectral-norm rescale recorded by CompileBlockScaled.
+func (bp *BlockProgram) MVM(x []complex128) []complex128 {
+	out := bp.Forward(x)
+	if bp.Scale != 1 {
+		s := complex(bp.Scale, 0)
+		for i := range out {
+			out[i] *= s
+		}
+	}
+	return out
+}
+
+// Matrix returns the Size×Size normalized matrix the program's lattice
+// implements (multiply by Scale to recover the compiled block).
+func (bp *BlockProgram) Matrix() *mat.Dense {
+	m := mat.New(bp.Size, bp.Size)
+	for j := 0; j < bp.Size; j++ {
+		in := make([]complex128, bp.Size)
+		in[j] = 1
+		m.SetCol(j, bp.Forward(in))
+	}
+	return m
+}

@@ -1,0 +1,127 @@
+package photonic
+
+import (
+	"math/rand"
+	"testing"
+
+	"flumen/internal/mat"
+)
+
+// TestCompileBlockMatchesPartitionAcrossOffsets verifies the compiled
+// artifact is partition-independent: applying one BlockProgram to
+// partitions at different wire offsets realizes the same matrix, and the
+// program's own Forward propagation agrees with both.
+func TestCompileBlockMatchesPartitionAcrossOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := mat.RandomDense(8, 8, rng)
+	m = mat.Scale(complex(0.9/mat.SpectralNorm(m), 0), m)
+	bp, err := CompileBlock(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Scale != 1 {
+		t.Fatalf("CompileBlock Scale = %v, want 1", bp.Scale)
+	}
+	if d := mat.MaxAbsDiff(bp.Matrix(), m); d > 1e-9 {
+		t.Fatalf("program lattice differs from compiled matrix by %g", d)
+	}
+
+	f := NewFlumenMesh(16)
+	for _, lo := range []int{0, 8} {
+		p, err := f.NewPartition(lo, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(bp); err != nil {
+			t.Fatal(err)
+		}
+		if d := mat.MaxAbsDiff(p.Matrix(), m); d > 1e-9 {
+			t.Fatalf("partition at lo=%d differs from program by %g", lo, d)
+		}
+		p.Release()
+	}
+}
+
+// TestCompileBlockScaledRecoversMatrix checks the spectral pre-scaling
+// round trip: MVM(x) ≈ m·x for a non-contractive matrix.
+func TestCompileBlockScaledRecoversMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := mat.Scale(3, mat.RandomDense(6, 6, rng))
+	bp, err := CompileBlockScaled(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Scale <= 1 {
+		t.Fatalf("Scale = %v, want > 1 for an expanded matrix", bp.Scale)
+	}
+	x := make([]complex128, 6)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	got := bp.MVM(x)
+	want := mat.MulVec(m, x)
+	for i := range want {
+		if d := got[i] - want[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("MVM[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompileBlockScaledZero compiles the all-zero block to the zero map
+// with Scale 0.
+func TestCompileBlockScaledZero(t *testing.T) {
+	bp, err := CompileBlockScaled(mat.New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Scale != 0 {
+		t.Fatalf("Scale = %v, want 0", bp.Scale)
+	}
+	out := bp.MVM([]complex128{1, 1, 1, 1})
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("zero-block MVM[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestCompileBlockRejectsExpandingMatrix checks CompileBlock refuses
+// singular values above 1 (the attenuator column cannot amplify).
+func TestCompileBlockRejectsExpandingMatrix(t *testing.T) {
+	m := mat.New(4, 4)
+	for i := 0; i < 4; i++ {
+		m.Set(i, i, 2)
+	}
+	if _, err := CompileBlock(m); err == nil {
+		t.Fatal("CompileBlock accepted a matrix with σ > 1")
+	}
+	if _, err := CompileBlock(mat.New(4, 6)); err == nil {
+		t.Fatal("CompileBlock accepted a non-square matrix")
+	}
+}
+
+// TestBlockProgramDeterministicCompile checks two independent compiles of
+// the same matrix yield bitwise-identical propagation — the property that
+// makes cache hits indistinguishable from recompiles.
+func TestBlockProgramDeterministicCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := mat.RandomDense(8, 8, rng)
+	bp1, err := CompileBlockScaled(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp2, err := CompileBlockScaled(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 8)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	o1, o2 := bp1.MVM(x), bp2.MVM(x)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("independent compiles diverge at %d: %v vs %v", i, o1[i], o2[i])
+		}
+	}
+}

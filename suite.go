@@ -27,9 +27,13 @@ func RunSuite(cfg Config, scale int) (*Suite, error) {
 		wg       sync.WaitGroup
 		firstErr error
 	)
+	// Populate the result grid before spawning anything: the goroutines
+	// index the outer map, so growing it concurrently would race.
 	for _, w := range workload.ScaledAll(scale) {
 		s.Benchmarks = append(s.Benchmarks, w.Name())
 		s.Results[w.Name()] = map[string]Result{}
+	}
+	for _, bench := range s.Benchmarks {
 		for _, topo := range Topologies() {
 			wg.Add(1)
 			// Each goroutine needs its own workload instance: op streams
@@ -50,7 +54,7 @@ func RunSuite(cfg Config, scale int) (*Suite, error) {
 					return
 				}
 				s.Results[bench][topo] = res
-			}(w.Name(), topo)
+			}(bench, topo)
 		}
 	}
 	wg.Wait()
