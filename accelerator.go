@@ -1,6 +1,7 @@
 package flumen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -201,11 +202,61 @@ func (a *Accelerator) ProgramCacheStats() CacheStats {
 // model).
 func (a *Accelerator) EnergyPJ() float64 { return a.meter.EnergyPJ() }
 
-// Stats returns the phase-programming and vector-batch counts.
-func (a *Accelerator) Stats() (programs, batches int64) { return a.meter.Counts() }
+// Stats is a read-only snapshot of the accelerator's observable state:
+// fabric geometry, engine configuration, accumulated work counters, and
+// weight-program cache effectiveness. It is safe to take concurrently with
+// compute calls; counters reflect work merged so far.
+type Stats struct {
+	// Ports is the fabric port count; BlockSize the compute partition size.
+	Ports     int
+	BlockSize int
+	// Partitions is the number of independent compute partitions; Workers
+	// the configured dispatch concurrency.
+	Partitions int
+	Workers    int
+	// Precision is the DAC/ADC bit depth.
+	Precision int
+	// EnergyPJ is the accumulated photonic compute energy; Programs and
+	// Batches are the phase-programming and λ-batch counts.
+	EnergyPJ float64
+	Programs int64
+	Batches  int64
+	// Cache reports weight-program cache hit/miss/eviction counts (zero
+	// value when caching is disabled).
+	Cache CacheStats
+}
+
+// Stats returns a consistent read-only snapshot of geometry, configuration,
+// work counters and cache statistics, so observers (e.g. a serving layer's
+// /metrics endpoint) never reach into accelerator internals.
+func (a *Accelerator) Stats() Stats {
+	a.mu.RLock()
+	s := Stats{
+		Ports:      a.fabric.N(),
+		BlockSize:  a.blockSize,
+		Partitions: len(a.partitions),
+		Workers:    a.workers,
+		Precision:  a.quant.Bits,
+	}
+	c := a.cache
+	a.mu.RUnlock()
+	s.EnergyPJ = a.meter.EnergyPJ()
+	s.Programs, s.Batches = a.meter.Counts()
+	if c != nil {
+		s.Cache = c.stats()
+	}
+	return s
+}
 
 // MatVec computes y = M·x photonically. M is row-major.
 func (a *Accelerator) MatVec(m [][]float64, x []float64) ([]float64, error) {
+	return a.MatVecCtx(context.Background(), m, x)
+}
+
+// MatVecCtx is MatVec with cooperative cancellation: when ctx is cancelled
+// or its deadline passes, dispatch stops before the remaining block work
+// items run and the context's error is returned.
+func (a *Accelerator) MatVecCtx(ctx context.Context, m [][]float64, x []float64) ([]float64, error) {
 	if len(m) == 0 || len(m[0]) != len(x) {
 		return nil, fmt.Errorf("flumen: MatVec dimension mismatch: %d×%d · %d", len(m), colsOf(m), len(x))
 	}
@@ -213,7 +264,7 @@ func (a *Accelerator) MatVec(m [][]float64, x []float64) ([]float64, error) {
 	for i, v := range x {
 		xd.Set(i, 0, complex(v, 0))
 	}
-	out, err := a.matMul(realDense(m), xd)
+	out, err := a.matMulCtx(ctx, realDense(m), xd)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +280,18 @@ func (a *Accelerator) MatVec(m [][]float64, x []float64) ([]float64, error) {
 // run across the partition pool; see engine.go for the dispatch and
 // determinism story.
 func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
+	return a.MatMulCtx(context.Background(), m, x)
+}
+
+// MatMulCtx is MatMul with cooperative cancellation: when ctx is cancelled
+// or its deadline passes, dispatch stops before the remaining block work
+// items run and the context's error is returned. A call that arrives with
+// an already-cancelled context performs no work at all. Each right-hand-side
+// column's result is independent of every other column, so concatenating
+// the column sets of several calls that share M into one MatMulCtx yields
+// bitwise-identical per-column results (the property the serving layer's
+// batcher relies on).
+func (a *Accelerator) MatMulCtx(ctx context.Context, m, x [][]float64) ([][]float64, error) {
 	rows, inner := len(m), colsOf(m)
 	if rows == 0 || inner == 0 {
 		return nil, fmt.Errorf("flumen: empty matrix")
@@ -237,7 +300,7 @@ func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
 		return nil, fmt.Errorf("flumen: MatMul dimension mismatch: %d×%d · %d×%d", rows, inner, len(x), colsOf(x))
 	}
 	nrhs := colsOf(x)
-	out, err := a.matMul(realDense(m), realDense(x))
+	out, err := a.matMulCtx(ctx, realDense(m), realDense(x))
 	if err != nil {
 		return nil, err
 	}
@@ -263,6 +326,13 @@ func (a *Accelerator) MatMul(m, x [][]float64) ([][]float64, error) {
 // [kernel][channel][ky][kx]. The result is indexed [kernel][y][x] with
 // dimensions determined by stride and pad.
 func (a *Accelerator) Conv2D(input [][][]float64, kernels [][][][]float64, stride, pad int) ([][][]float64, error) {
+	return a.Conv2DCtx(context.Background(), input, kernels, stride, pad)
+}
+
+// Conv2DCtx is Conv2D with cooperative cancellation: when ctx is cancelled
+// or its deadline passes, dispatch stops before the remaining block work
+// items run and the context's error is returned.
+func (a *Accelerator) Conv2DCtx(ctx context.Context, input [][][]float64, kernels [][][][]float64, stride, pad int) ([][][]float64, error) {
 	if len(input) == 0 || len(input[0]) == 0 || len(input[0][0]) == 0 {
 		return nil, fmt.Errorf("flumen: Conv2D empty input")
 	}
@@ -297,7 +367,7 @@ func (a *Accelerator) Conv2D(input [][][]float64, kernels [][][][]float64, strid
 	}
 	km := workload.KernelMatrix(shape, ravel)
 	cols := workload.Im2Col(shape, vol)
-	prod, err := a.matMul(km, cols)
+	prod, err := a.matMulCtx(ctx, km, cols)
 	if err != nil {
 		return nil, err
 	}

@@ -207,7 +207,8 @@ func TestAcceleratorEnergyAccumulates(t *testing.T) {
 	if a.EnergyPJ() <= 0 {
 		t.Fatal("no energy recorded")
 	}
-	programs, batches := a.Stats()
+	aStats := a.Stats()
+	programs, batches := aStats.Programs, aStats.Batches
 	// 16×16 in 8-blocks: 2×2 grid = 4 programs, 4 single-vector batches.
 	if programs != 4 || batches != 4 {
 		t.Fatalf("programs=%d batches=%d, want 4/4", programs, batches)

@@ -1,0 +1,69 @@
+// Command flumend serves the Flumen photonic accelerator over HTTP/JSON: a
+// batching inference server with a bounded admission queue, per-request
+// deadlines, Prometheus-style /metrics, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/matmul   {"m": [[...]], "x": [[...]], "timeout_ms": 0}
+//	POST /v1/conv2d   {"input": [[[...]]], "kernels": [[[[...]]]], "stride": 1, "pad": 0}
+//	POST /v1/infer    {"model": "tiny-cnn", "volume": [[[...]]]}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Concurrent matmul requests whose weight matrices are bit-identical are
+// coalesced into one partition-wide engine call, so a fleet of clients
+// streaming the same model shares a single SVD + Clements compilation via
+// the weight-program cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flumen/internal/serve"
+)
+
+func main() {
+	cfg := serve.DefaultConfig()
+	flag.StringVar(&cfg.Addr, "addr", cfg.Addr, "listen address")
+	flag.IntVar(&cfg.Ports, "ports", cfg.Ports, "fabric port count (multiple of 4)")
+	flag.IntVar(&cfg.BlockSize, "block", cfg.BlockSize, "compute block size (even, ≤ ports/2)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "engine worker count (0 = one per partition)")
+	flag.IntVar(&cfg.CacheSize, "cache", 0, "weight-program cache capacity (0 = default, <0 disables)")
+	flag.IntVar(&cfg.Precision, "bits", 0, "DAC/ADC bit depth (0 = default 8)")
+	flag.IntVar(&cfg.QueueDepth, "queue", cfg.QueueDepth, "admission queue depth")
+	flag.IntVar(&cfg.MaxBatchReqs, "max-batch", cfg.MaxBatchReqs, "max requests coalesced per engine call")
+	flag.IntVar(&cfg.MaxBatchCols, "max-batch-cols", cfg.MaxBatchCols, "max RHS columns per engine call")
+	flag.DurationVar(&cfg.BatchWindow, "batch-window", cfg.BatchWindow, "coalescing window")
+	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "graceful shutdown budget")
+	flag.Int64Var(&cfg.InferSeed, "infer-seed", cfg.InferSeed, "seed for the built-in model weights")
+	flag.Parse()
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatalf("flumend: %v", err)
+	}
+	if err := srv.Listen(); err != nil {
+		log.Fatalf("flumend: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	st := srv.Accelerator().Stats()
+	log.Printf("flumend: listening on %s (fabric %d ports, %d partitions of %d, cache %d programs)",
+		srv.Addr(), st.Ports, st.Partitions, st.BlockSize, st.Cache.Capacity)
+
+	start := time.Now()
+	if err := srv.Run(ctx); err != nil {
+		log.Fatalf("flumend: %v", err)
+	}
+	st = srv.Accelerator().Stats()
+	log.Printf("flumend: drained cleanly after %s (%d programs, %d λ-batches, %.0f pJ, cache %d/%d hits/misses)",
+		time.Since(start).Round(time.Millisecond), st.Programs, st.Batches, st.EnergyPJ, st.Cache.Hits, st.Cache.Misses)
+}

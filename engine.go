@@ -2,6 +2,7 @@ package flumen
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -73,6 +74,19 @@ func newScratch(n int) *workerScratch {
 // matMul computes the padded product pm·px across the partition pool and
 // returns it as a padded complex matrix (callers truncate and project).
 func (a *Accelerator) matMul(md, xd *mat.Dense) (*mat.Dense, error) {
+	return a.matMulCtx(context.Background(), md, xd)
+}
+
+// matMulCtx is matMul with cooperative cancellation: the context is checked
+// before each partition checkout and before every work item, so a cancelled
+// call abandons its remaining items (and never starts any when the context
+// arrives already cancelled). Partitions checked out before cancellation are
+// always returned to the pool; a cancelled call contributes nothing to the
+// energy meter.
+func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.Dense, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := a.blockSize
 	pm := mat.PadTo(md, n)
 	px := mat.PadTo(xd, n)
@@ -103,10 +117,15 @@ func (a *Accelerator) matMul(md, xd *mat.Dense) (*mat.Dense, error) {
 	workers := min(cfg.workers, items)
 
 	if workers <= 1 {
-		p := <-a.pool
+		p, err := a.checkout(ctx)
+		if err != nil {
+			return nil, err
+		}
 		scratch := newScratch(n)
-		var err error
 		for idx := 0; idx < items && err == nil; idx++ {
+			if err = ctx.Err(); err != nil {
+				break
+			}
 			c, r := idx/bi, idx%bi
 			err = a.computeItem(p, scratch, pm, px, r, c, nrhs, &cfg, &results[idx])
 		}
@@ -121,10 +140,18 @@ func (a *Accelerator) matMul(md, xd *mat.Dense) (*mat.Dense, error) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				p := <-a.pool
+				p, err := a.checkout(ctx)
+				if err != nil {
+					errs[g] = err
+					return
+				}
 				defer func() { a.pool <- p }()
 				scratch := newScratch(n)
 				for idx := g; idx < items; idx += workers {
+					if err := ctx.Err(); err != nil {
+						errs[g] = err
+						return
+					}
 					c, r := idx/bi, idx%bi
 					if err := a.computeItem(p, scratch, pm, px, r, c, nrhs, &cfg, &results[idx]); err != nil {
 						errs[g] = err
@@ -162,6 +189,23 @@ func (a *Accelerator) matMul(md, xd *mat.Dense) (*mat.Dense, error) {
 	}
 	a.meter.Add(pj, programs, batches)
 	return out, nil
+}
+
+// checkout acquires a partition from the pool, giving up as soon as the
+// context is cancelled so callers never block on a pool drained by
+// long-running work they no longer want.
+func (a *Accelerator) checkout(ctx context.Context) (*photonic.Partition, error) {
+	// Fast path: a cancelled context always loses, even when a partition is
+	// simultaneously available (select would pick at random).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case p := <-a.pool:
+		return p, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // computeItem executes one (block-row r, block-col c) work item on

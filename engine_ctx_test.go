@@ -1,0 +1,119 @@
+package flumen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// A context cancelled before the call must stop dispatch before any work
+// item runs: no programs, no batches, no energy.
+func TestMatMulCtxPreCancelledRunsNoWork(t *testing.T) {
+	a := newEngineAccel(t, 32, 8)
+	rng := rand.New(rand.NewSource(5))
+	m := randMatrix(rng, 32, 32)
+	x := randMatrix(rng, 32, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.MatMulCtx(ctx, m, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatMulCtx error = %v, want context.Canceled", err)
+	}
+	st := a.Stats()
+	if st.Programs != 0 || st.Batches != 0 || st.EnergyPJ != 0 {
+		t.Fatalf("cancelled call did work: %d programs, %d batches, %g pJ", st.Programs, st.Batches, st.EnergyPJ)
+	}
+
+	// The partition pool must be intact: a normal call still succeeds.
+	if _, err := a.MatMul(m, x); err != nil {
+		t.Fatalf("MatMul after cancelled call: %v", err)
+	}
+	if st := a.Stats(); st.Programs == 0 {
+		t.Fatal("follow-up call did no work")
+	}
+}
+
+func TestMatMulCtxExpiredDeadline(t *testing.T) {
+	a := newEngineAccel(t, 16, 8)
+	rng := rand.New(rand.NewSource(6))
+	m := randMatrix(rng, 16, 16)
+	x := randMatrix(rng, 16, 2)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := a.MatMulCtx(ctx, m, x); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("MatMulCtx error = %v, want context.DeadlineExceeded", err)
+	}
+	if st := a.Stats(); st.Programs != 0 {
+		t.Fatalf("expired call did work: %d programs", st.Programs)
+	}
+}
+
+// Serial dispatch (workers=1) checks the context between items, so a
+// cancellation observed mid-call abandons the remaining work items.
+func TestMatMulCtxSerialPathChecksBetweenItems(t *testing.T) {
+	a := newEngineAccel(t, 32, 8)
+	a.SetWorkers(1)
+	rng := rand.New(rand.NewSource(7))
+	// 64×64 in 8-blocks: 8×8 = 64 work items — enough that a cancellation
+	// racing the call still lands before the last item with margin.
+	m := randMatrix(rng, 64, 64)
+	x := randMatrix(rng, 64, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.MatMulCtx(ctx, m, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatMulCtx error = %v, want context.Canceled", err)
+	}
+	if st := a.Stats(); st.Programs != 0 {
+		t.Fatalf("cancelled serial call did work: %d programs", st.Programs)
+	}
+}
+
+func TestConv2DCtxAndMatVecCtxPreCancelled(t *testing.T) {
+	a := newEngineAccel(t, 16, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	input := [][][]float64{{{1, 2}, {3, 4}}}
+	kernels := [][][][]float64{{{{1}}}}
+	if _, err := a.Conv2DCtx(ctx, input, kernels, 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Conv2DCtx error = %v, want context.Canceled", err)
+	}
+
+	m := [][]float64{{1, 0}, {0, 1}}
+	if _, err := a.MatVecCtx(ctx, m, []float64{1, 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatVecCtx error = %v, want context.Canceled", err)
+	}
+	if st := a.Stats(); st.Programs != 0 {
+		t.Fatalf("cancelled calls did work: %d programs", st.Programs)
+	}
+}
+
+// Context plumbing must not perturb results: a MatMulCtx with a background
+// context is bitwise-identical to MatMul.
+func TestMatMulCtxBackgroundMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randMatrix(rng, 16, 16)
+	x := randMatrix(rng, 16, 3)
+
+	a := newEngineAccel(t, 16, 8)
+	want, err := a.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newEngineAccel(t, 16, 8)
+	got, err := b.MatMulCtx(context.Background(), m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("element (%d,%d): %v vs %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -61,7 +61,8 @@ func TestEngineParallelMatchesSerialBitwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPrograms, wantBatches := serial.Stats()
+	wantStats := serial.Stats()
+	wantPrograms, wantBatches := wantStats.Programs, wantStats.Batches
 	wantEnergy := serial.EnergyPJ()
 
 	for _, workers := range []int{2, 3, 4} {
@@ -79,7 +80,8 @@ func TestEngineParallelMatchesSerialBitwise(t *testing.T) {
 				}
 			}
 		}
-		programs, batches := par.Stats()
+		parStats := par.Stats()
+		programs, batches := parStats.Programs, parStats.Batches
 		if programs != wantPrograms || batches != wantBatches {
 			t.Fatalf("workers=%d: counters (%d,%d), serial (%d,%d)",
 				workers, programs, batches, wantPrograms, wantBatches)
@@ -169,7 +171,8 @@ func TestEngineProgramCacheHits(t *testing.T) {
 		}
 	}
 	// Counters must be unaffected by caching: phases are still re-applied.
-	programs, batches := a.Stats()
+	aStats := a.Stats()
+	programs, batches := aStats.Programs, aStats.Batches
 	if programs != 8 || batches != 8 {
 		t.Fatalf("counters (%d,%d), want (8,8)", programs, batches)
 	}
@@ -285,7 +288,8 @@ func TestEngineConcurrentMatMulStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refPrograms, refBatches := ref.Stats()
+	refStats := ref.Stats()
+	refPrograms, refBatches := refStats.Programs, refStats.Batches
 	refEnergy := ref.EnergyPJ()
 
 	const calls = 16
@@ -313,7 +317,8 @@ func TestEngineConcurrentMatMulStress(t *testing.T) {
 			}
 		}
 	}
-	programs, batches := a.Stats()
+	aStats := a.Stats()
+	programs, batches := aStats.Programs, aStats.Batches
 	if programs != calls*refPrograms || batches != calls*refBatches {
 		t.Fatalf("counters (%d,%d), want (%d,%d)", programs, batches, calls*refPrograms, calls*refBatches)
 	}

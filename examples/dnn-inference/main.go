@@ -123,7 +123,8 @@ func main() {
 			worstLogit = d
 		}
 	}
-	programs, batches := acc.Stats()
+	st := acc.Stats()
+	programs, batches := st.Programs, st.Batches
 
 	fmt.Println("two-layer photonic inference (conv 3×3×2→4 + FC→10, 8-bit analog):")
 	fmt.Printf("  conv feature error (max):   %.4f\n", worstFeat)

@@ -56,7 +56,8 @@ func main() {
 			count++
 		}
 	}
-	programs, batches := acc.Stats()
+	st := acc.Stats()
+	programs, batches := st.Programs, st.Batches
 	fmt.Printf("photonic blur of a %d×%d RGB image (8-bit analog):\n", side, side)
 	fmt.Printf("  max pixel error %.5f, rms %.5f (pixel range [0,1))\n",
 		worst, math.Sqrt(sum/float64(count)))

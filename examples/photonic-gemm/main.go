@@ -59,7 +59,7 @@ func main() {
 			}
 			sq += d * d
 		}
-		programs, _ := acc.Stats()
+		programs := acc.Stats().Programs
 		fmt.Printf("%-10d %14.6f %14.6f %12d %12.1f\n",
 			bits, worst, math.Sqrt(sq/float64(rows)), programs, acc.EnergyPJ())
 	}
@@ -92,7 +92,8 @@ func main() {
 			}
 		}
 	}
-	programs, batches := acc.Stats()
+	st := acc.Stats()
+	programs, batches := st.Programs, st.Batches
 	fmt.Printf("8-bit MatMul %d×%d·%d×8: max error %.4f, %d programs, %d λ-batches, %.1f pJ\n",
 		rows, cols, cols, worst, programs, batches, acc.EnergyPJ())
 }

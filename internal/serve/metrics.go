@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is a small self-contained registry exported in Prometheus text
+// format at /metrics. Everything the exposition needs from the accelerator
+// comes through the public Stats() snapshot; nothing reaches into engine
+// internals.
+type metrics struct {
+	start time.Time
+
+	mu sync.Mutex
+	// Per-endpoint request/error/latency accounting.
+	requests map[string]int64
+	errors   map[string]int64
+	hists    map[string]*histogram
+	// Admission-control accounting.
+	rejected  int64 // queue-full 503s
+	cancelled int64 // requests abandoned before execution (deadline/client gone)
+	// Batcher accounting.
+	batchesExecuted int64 // engine calls issued by the scheduler
+	batchedRequests int64 // requests served by those calls
+	maxBatch        int64 // largest coalesced batch observed
+	// execNanos accumulates wall time the executor spent inside engine
+	// calls; against uptime it yields the fabric-busy fraction (the
+	// executor drives all partitions while a call is in flight).
+	execNanos int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[string]int64),
+		errors:   make(map[string]int64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+type histogram struct {
+	counts []int64 // one per bucket, plus +Inf at the end
+	sum    float64
+	total  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+func (m *metrics) observeRequest(endpoint string, d time.Duration, err bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint]++
+	if err {
+		m.errors[endpoint]++
+	}
+	h := m.hists[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.hists[endpoint] = h
+	}
+	h.observe(d.Seconds())
+}
+
+func (m *metrics) observeRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeCancelled() {
+	m.mu.Lock()
+	m.cancelled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeBatch(requests int, execTime time.Duration) {
+	m.mu.Lock()
+	m.batchesExecuted++
+	m.batchedRequests += int64(requests)
+	if int64(requests) > m.maxBatch {
+		m.maxBatch = int64(requests)
+	}
+	m.execNanos += execTime.Nanoseconds()
+	m.mu.Unlock()
+}
+
+// accelSnapshot is the subset of flumen.Stats the exposition consumes,
+// decoupled so the metrics file does not import the root package.
+type accelSnapshot struct {
+	Partitions     int
+	Workers        int
+	EnergyPJ       float64
+	Programs       int64
+	Batches        int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheEntries   int
+	CacheCapacity  int
+}
+
+// write renders the exposition. queueDepth/queueCap are sampled at scrape
+// time; acc is the accelerator snapshot.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int, acc accelSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	up := time.Since(m.start).Seconds()
+	fmt.Fprintf(w, "# HELP flumend_uptime_seconds Time since server start.\n")
+	fmt.Fprintf(w, "# TYPE flumend_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "flumend_uptime_seconds %g\n", up)
+
+	fmt.Fprintf(w, "# HELP flumend_requests_total Requests admitted per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE flumend_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		fmt.Fprintf(w, "flumend_requests_total{endpoint=%q} %d\n", ep, m.requests[ep])
+	}
+	fmt.Fprintf(w, "# HELP flumend_errors_total Failed requests per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE flumend_errors_total counter\n")
+	for _, ep := range sortedKeys(m.errors) {
+		fmt.Fprintf(w, "flumend_errors_total{endpoint=%q} %d\n", ep, m.errors[ep])
+	}
+
+	fmt.Fprintf(w, "# HELP flumend_rejected_total Requests shed with 503 because the admission queue was full.\n")
+	fmt.Fprintf(w, "# TYPE flumend_rejected_total counter\n")
+	fmt.Fprintf(w, "flumend_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "# HELP flumend_cancelled_total Queued requests abandoned before execution (deadline or client gone).\n")
+	fmt.Fprintf(w, "# TYPE flumend_cancelled_total counter\n")
+	fmt.Fprintf(w, "flumend_cancelled_total %d\n", m.cancelled)
+
+	fmt.Fprintf(w, "# HELP flumend_queue_depth Requests currently waiting in the admission queue.\n")
+	fmt.Fprintf(w, "# TYPE flumend_queue_depth gauge\n")
+	fmt.Fprintf(w, "flumend_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP flumend_queue_capacity Admission queue capacity.\n")
+	fmt.Fprintf(w, "# TYPE flumend_queue_capacity gauge\n")
+	fmt.Fprintf(w, "flumend_queue_capacity %d\n", queueCap)
+
+	fmt.Fprintf(w, "# HELP flumend_batches_executed_total Engine calls issued by the scheduler.\n")
+	fmt.Fprintf(w, "# TYPE flumend_batches_executed_total counter\n")
+	fmt.Fprintf(w, "flumend_batches_executed_total %d\n", m.batchesExecuted)
+	fmt.Fprintf(w, "# HELP flumend_batched_requests_total Requests served by those engine calls (ratio to batches = mean coalescing).\n")
+	fmt.Fprintf(w, "# TYPE flumend_batched_requests_total counter\n")
+	fmt.Fprintf(w, "flumend_batched_requests_total %d\n", m.batchedRequests)
+	fmt.Fprintf(w, "# HELP flumend_batch_size_max Largest coalesced batch observed.\n")
+	fmt.Fprintf(w, "# TYPE flumend_batch_size_max gauge\n")
+	fmt.Fprintf(w, "flumend_batch_size_max %d\n", m.maxBatch)
+
+	busy := float64(m.execNanos) / 1e9
+	util := 0.0
+	if up > 0 {
+		util = busy / up
+	}
+	fmt.Fprintf(w, "# HELP flumend_partitions Compute partitions carved from the fabric.\n")
+	fmt.Fprintf(w, "# TYPE flumend_partitions gauge\n")
+	fmt.Fprintf(w, "flumend_partitions %d\n", acc.Partitions)
+	fmt.Fprintf(w, "# HELP flumend_partition_utilization Fraction of uptime the executor spent driving the fabric (all partitions engaged while an engine call is in flight).\n")
+	fmt.Fprintf(w, "# TYPE flumend_partition_utilization gauge\n")
+	fmt.Fprintf(w, "flumend_partition_utilization %g\n", util)
+
+	fmt.Fprintf(w, "# HELP flumend_cache_hits_total Weight-program cache hits.\n")
+	fmt.Fprintf(w, "# TYPE flumend_cache_hits_total counter\n")
+	fmt.Fprintf(w, "flumend_cache_hits_total %d\n", acc.CacheHits)
+	fmt.Fprintf(w, "# HELP flumend_cache_misses_total Weight-program cache misses.\n")
+	fmt.Fprintf(w, "# TYPE flumend_cache_misses_total counter\n")
+	fmt.Fprintf(w, "flumend_cache_misses_total %d\n", acc.CacheMisses)
+	fmt.Fprintf(w, "# HELP flumend_cache_evictions_total Weight-program cache evictions.\n")
+	fmt.Fprintf(w, "# TYPE flumend_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "flumend_cache_evictions_total %d\n", acc.CacheEvictions)
+	fmt.Fprintf(w, "# HELP flumend_cache_entries Compiled programs resident in the cache.\n")
+	fmt.Fprintf(w, "# TYPE flumend_cache_entries gauge\n")
+	fmt.Fprintf(w, "flumend_cache_entries %d\n", acc.CacheEntries)
+	fmt.Fprintf(w, "# HELP flumend_cache_capacity Weight-program cache capacity.\n")
+	fmt.Fprintf(w, "# TYPE flumend_cache_capacity gauge\n")
+	fmt.Fprintf(w, "flumend_cache_capacity %d\n", acc.CacheCapacity)
+
+	fmt.Fprintf(w, "# HELP flumend_energy_picojoules_total Accumulated photonic compute energy (Fig. 12b model).\n")
+	fmt.Fprintf(w, "# TYPE flumend_energy_picojoules_total counter\n")
+	fmt.Fprintf(w, "flumend_energy_picojoules_total %g\n", acc.EnergyPJ)
+	fmt.Fprintf(w, "# HELP flumend_programs_total Phase-programming events.\n")
+	fmt.Fprintf(w, "# TYPE flumend_programs_total counter\n")
+	fmt.Fprintf(w, "flumend_programs_total %d\n", acc.Programs)
+	fmt.Fprintf(w, "# HELP flumend_lambda_batches_total WDM λ-batches streamed.\n")
+	fmt.Fprintf(w, "# TYPE flumend_lambda_batches_total counter\n")
+	fmt.Fprintf(w, "flumend_lambda_batches_total %d\n", acc.Batches)
+
+	fmt.Fprintf(w, "# HELP flumend_request_duration_seconds Admission-to-completion latency per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE flumend_request_duration_seconds histogram\n")
+	for _, ep := range sortedKeys(m.hists) {
+		h := m.hists[ep]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "flumend_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "flumend_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "flumend_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "flumend_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

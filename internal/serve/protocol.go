@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire protocol: plain JSON over HTTP. Every request may carry
+// timeout_ms; every error response is {"error": "..."} with a conventional
+// status code (400 malformed, 404 unknown model, 503 queue full with
+// Retry-After, 504 deadline exceeded or client gone).
+
+// MatMulRequest asks for C = M·X on the fabric. M is row-major; X carries
+// one column per right-hand-side vector.
+type MatMulRequest struct {
+	M [][]float64 `json:"m"`
+	X [][]float64 `json:"x"`
+	// TimeoutMS bounds the request end to end (queue wait included);
+	// 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MatMulResponse returns the product plus serving metadata.
+type MatMulResponse struct {
+	C [][]float64 `json:"c"`
+	// Batched is the number of requests whose columns shared this engine
+	// call (1 = no coalescing happened).
+	Batched int `json:"batched"`
+	// ElapsedMS is wall time from admission to completion.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Conv2DRequest asks for an im2col convolution. Input is
+// [channel][y][x]; Kernels is [kernel][channel][ky][kx].
+type Conv2DRequest struct {
+	Input     [][][]float64   `json:"input"`
+	Kernels   [][][][]float64 `json:"kernels"`
+	Stride    int             `json:"stride"`
+	Pad       int             `json:"pad"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// Conv2DResponse returns the [kernel][y][x] output volume.
+type Conv2DResponse struct {
+	Output    [][][]float64 `json:"output"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+// InferRequest runs one of the built-in workload DNNs. Volume carries the
+// [channel][y][x] input of convolutional models; Vector the flat input of
+// fully-connected models.
+type InferRequest struct {
+	Model     string        `json:"model"`
+	Volume    [][][]float64 `json:"volume,omitempty"`
+	Vector    []float64     `json:"vector,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+}
+
+// InferResponse returns the class scores and argmax prediction.
+type InferResponse struct {
+	Model     string    `json:"model"`
+	Logits    []float64 `json:"logits"`
+	Class     int       `json:"class"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Partitions    int     `json:"partitions"`
+	Draining      bool    `json:"draining"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// validateMatMul checks dimensions before admission, so malformed requests
+// are rejected with 400 instead of occupying a queue slot.
+func validateMatMul(req *MatMulRequest) error {
+	rows := len(req.M)
+	if rows == 0 || len(req.M[0]) == 0 {
+		return fmt.Errorf("m must be a non-empty matrix")
+	}
+	inner := len(req.M[0])
+	for i, r := range req.M {
+		if len(r) != inner {
+			return fmt.Errorf("m is ragged: row %d has %d columns, row 0 has %d", i, len(r), inner)
+		}
+	}
+	if len(req.X) != inner {
+		return fmt.Errorf("dimension mismatch: m is %d×%d but x has %d rows", rows, inner, len(req.X))
+	}
+	nrhs := len(req.X[0])
+	if nrhs == 0 {
+		return fmt.Errorf("x must have at least one column")
+	}
+	for i, r := range req.X {
+		if len(r) != nrhs {
+			return fmt.Errorf("x is ragged: row %d has %d columns, row 0 has %d", i, len(r), nrhs)
+		}
+	}
+	for _, r := range append(append([][]float64{}, req.M...), req.X...) {
+		for _, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("matrix entries must be finite")
+			}
+		}
+	}
+	return nil
+}
+
+// validateConv2D rejects shapes the workload layer would panic on: ragged
+// volumes, kernel/input channel mismatches, and strides/pads that leave no
+// output.
+func validateConv2D(req *Conv2DRequest) error {
+	if len(req.Input) == 0 || len(req.Input[0]) == 0 || len(req.Input[0][0]) == 0 {
+		return fmt.Errorf("input must be a non-empty [channel][y][x] volume")
+	}
+	inH, inW := len(req.Input[0]), len(req.Input[0][0])
+	for c := range req.Input {
+		if len(req.Input[c]) != inH {
+			return fmt.Errorf("input channel %d has %d rows, channel 0 has %d", c, len(req.Input[c]), inH)
+		}
+		for y := range req.Input[c] {
+			if len(req.Input[c][y]) != inW {
+				return fmt.Errorf("input channel %d row %d has %d columns, row 0 has %d", c, y, len(req.Input[c][y]), inW)
+			}
+		}
+	}
+	if len(req.Kernels) == 0 || len(req.Kernels[0]) == 0 || len(req.Kernels[0][0]) == 0 || len(req.Kernels[0][0][0]) == 0 {
+		return fmt.Errorf("kernels must be a non-empty [kernel][channel][ky][kx] stack")
+	}
+	kc, kh, kw := len(req.Kernels[0]), len(req.Kernels[0][0]), len(req.Kernels[0][0][0])
+	if kc != len(req.Input) {
+		return fmt.Errorf("kernel channel count %d does not match input %d", kc, len(req.Input))
+	}
+	for k := range req.Kernels {
+		if len(req.Kernels[k]) != kc {
+			return fmt.Errorf("kernel %d has %d channels, kernel 0 has %d", k, len(req.Kernels[k]), kc)
+		}
+		for c := range req.Kernels[k] {
+			if len(req.Kernels[k][c]) != kh {
+				return fmt.Errorf("kernel %d channel %d has %d rows, want %d", k, c, len(req.Kernels[k][c]), kh)
+			}
+			for y := range req.Kernels[k][c] {
+				if len(req.Kernels[k][c][y]) != kw {
+					return fmt.Errorf("kernel %d channel %d row %d has %d columns, want %d", k, c, y, len(req.Kernels[k][c][y]), kw)
+				}
+			}
+		}
+	}
+	if req.Stride <= 0 {
+		return fmt.Errorf("stride must be positive, got %d", req.Stride)
+	}
+	if req.Pad < 0 {
+		return fmt.Errorf("pad must be non-negative, got %d", req.Pad)
+	}
+	if (inW+2*req.Pad-kw)/req.Stride+1 <= 0 || (inH+2*req.Pad-kh)/req.Stride+1 <= 0 {
+		return fmt.Errorf("kernel %dx%d with stride %d pad %d leaves no output on a %dx%d input",
+			kw, kh, req.Stride, req.Pad, inW, inH)
+	}
+	return nil
+}
+
+// weightFingerprint is an exact content key for a weight matrix — its
+// dimensions plus the IEEE-754 bits of every element — mirroring the
+// engine's block fingerprint. Collision-free by construction, so two
+// requests coalesce only when their weights are bit-identical and batched
+// execution is guaranteed bitwise-equal to serving them separately.
+func weightFingerprint(m [][]float64) string {
+	rows := len(m)
+	cols := 0
+	if rows > 0 {
+		cols = len(m[0])
+	}
+	buf := make([]byte, 0, 16+rows*cols*8)
+	var dims [16]byte
+	binary.LittleEndian.PutUint64(dims[0:], uint64(rows))
+	binary.LittleEndian.PutUint64(dims[8:], uint64(cols))
+	buf = append(buf, dims[:]...)
+	var w [8]byte
+	for _, row := range m {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			buf = append(buf, w[:]...)
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"flumen"
+)
+
+// Admission and dispatch. Requests enter a bounded queue (backpressure: a
+// full queue is an immediate error, never a block) and a single executor
+// goroutine drains it. One executor is deliberate: the engine itself fans a
+// call's block work items across every fabric partition, so running engine
+// calls back to back keeps the fabric saturated while preserving the
+// engine's bitwise determinism story. The executor's extra trick is the
+// batcher (batcher.go): consecutive matmul jobs that share a weight
+// fingerprint coalesce into one engine call.
+
+var (
+	// errQueueFull is returned by submit when the admission queue is at
+	// capacity; the server maps it to 503 + Retry-After.
+	errQueueFull = errors.New("serve: admission queue full")
+	// errDraining is returned once shutdown has begun.
+	errDraining = errors.New("serve: server draining")
+)
+
+// job is one admitted request. Exactly one of (key, m, x) — a batchable
+// matmul — or run — an opaque direct execution (conv2d, infer) — is set.
+type job struct {
+	ctx      context.Context
+	endpoint string
+	enq      time.Time
+
+	// Batchable matmul payload: key is the exact weight fingerprint.
+	key string
+	m   [][]float64
+	x   [][]float64
+
+	// Direct payload.
+	run func(ctx context.Context) (any, error)
+
+	// done receives exactly one result; buffered so the executor never
+	// blocks on a handler that gave up.
+	done chan jobResult
+}
+
+type jobResult struct {
+	matmul  [][]float64 // matmul jobs
+	direct  any         // direct jobs
+	batched int         // requests sharing the engine call
+	err     error
+}
+
+type scheduler struct {
+	cfg Config
+	acc *flumen.Accelerator
+	met *metrics
+
+	// mu guards closed and the queue send (a send racing close would
+	// panic).
+	mu     sync.RWMutex
+	closed bool
+	queue  chan *job
+	// exited closes when the executor has drained the queue and returned.
+	exited chan struct{}
+}
+
+func newScheduler(cfg Config, acc *flumen.Accelerator, met *metrics) *scheduler {
+	s := &scheduler{
+		cfg:    cfg,
+		acc:    acc,
+		met:    met,
+		queue:  make(chan *job, cfg.QueueDepth),
+		exited: make(chan struct{}),
+	}
+	go s.runLoop()
+	return s
+}
+
+// submit offers a job to the admission queue without blocking.
+func (s *scheduler) submit(j *job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth reports the current queue occupancy.
+func (s *scheduler) depth() int { return len(s.queue) }
+
+// draining reports whether shutdown has begun.
+func (s *scheduler) draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// drain stops admission and waits — up to ctx — for queued work to finish.
+// Already-queued jobs still execute (graceful drain); the executor exits
+// once the queue empties.
+func (s *scheduler) drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.exited:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runLoop is the executor: it pulls the queue head, skips jobs whose
+// context is already done, coalesces batchable runs, and executes.
+func (s *scheduler) runLoop() {
+	defer close(s.exited)
+	var pending *job // head handed back by the batcher
+	for {
+		j := pending
+		pending = nil
+		if j == nil {
+			var ok bool
+			j, ok = <-s.queue
+			if !ok {
+				return
+			}
+		}
+		if err := j.ctx.Err(); err != nil {
+			// Cancelled while queued: abandon without touching the fabric.
+			s.met.observeCancelled()
+			j.done <- jobResult{err: err}
+			continue
+		}
+		if j.key == "" {
+			s.executeDirect(j)
+			continue
+		}
+		batch, next := s.collect(j)
+		pending = next
+		s.executeBatch(batch)
+	}
+}
+
+func (s *scheduler) executeDirect(j *job) {
+	start := time.Now()
+	out, err := j.run(j.ctx)
+	s.met.observeBatch(1, time.Since(start))
+	j.done <- jobResult{direct: out, batched: 1, err: err}
+}
+
+// executeBatch runs one engine call for every live member of the batch and
+// splits the result columns back out per request.
+func (s *scheduler) executeBatch(batch []*job) {
+	live := batch[:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			s.met.observeCancelled()
+			j.done <- jobResult{err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// A lone request keeps its own context so its deadline can abandon
+	// dispatch mid-call; a coalesced batch runs to completion once started
+	// (members already passed their admission-time liveness check, and one
+	// impatient tenant must not cancel its neighbours' work).
+	ctx := context.Background()
+	if len(live) == 1 {
+		ctx = live[0].ctx
+	}
+
+	xAll := concatColumns(live)
+	start := time.Now()
+	c, err := s.acc.MatMulCtx(ctx, live[0].m, xAll)
+	s.met.observeBatch(len(live), time.Since(start))
+	if err != nil {
+		for _, j := range live {
+			j.done <- jobResult{err: err}
+		}
+		return
+	}
+	for i, j := range live {
+		j.done <- jobResult{matmul: sliceColumns(c, live, i), batched: len(live)}
+	}
+}

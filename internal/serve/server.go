@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flumen"
+)
+
+// Server is the flumend HTTP front end: handlers decode and validate
+// requests, thread per-request deadlines as contexts, and hand work to the
+// batching scheduler. Responsibilities split cleanly: the handler owns the
+// client connection and its deadline; the scheduler owns the fabric.
+type Server struct {
+	cfg    Config
+	acc    *flumen.Accelerator
+	sched  *scheduler
+	met    *metrics
+	models map[string]*inferModel
+	mux    *http.ServeMux
+
+	httpSrv *http.Server
+	lis     net.Listener
+}
+
+// New builds a server (and its accelerator) from the config. The server is
+// ready to use as an http.Handler immediately; Run additionally binds a
+// listener and manages graceful drain.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	acc, err := flumen.NewAccelerator(cfg.Ports, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		acc.SetWorkers(cfg.Workers)
+	}
+	if cfg.CacheSize != 0 {
+		acc.SetProgramCacheSize(cfg.CacheSize)
+	}
+	if cfg.Precision > 0 {
+		acc.SetPrecision(cfg.Precision)
+	}
+
+	s := &Server{
+		cfg:    cfg,
+		acc:    acc,
+		met:    newMetrics(),
+		models: buildModels(cfg.InferSeed),
+		mux:    http.NewServeMux(),
+	}
+	s.sched = newScheduler(cfg, acc, s.met)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/matmul", s.handleMatMul)
+	s.mux.HandleFunc("POST /v1/conv2d", s.handleConv2D)
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	return s, nil
+}
+
+// Handler exposes the route table (used directly by tests; Run wraps it in
+// a managed listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Accelerator exposes the backing accelerator's public surface (read-only
+// observation, e.g. Stats()).
+func (s *Server) Accelerator() *flumen.Accelerator { return s.acc }
+
+// Addr returns the bound listen address once Run has started.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return s.cfg.Addr
+	}
+	return s.lis.Addr().String()
+}
+
+// Listen binds the configured address without serving yet, so callers can
+// learn the bound port (Addr) before traffic starts.
+func (s *Server) Listen() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	return nil
+}
+
+// Run serves until ctx is cancelled, then drains gracefully: the listener
+// stops accepting, in-flight handlers get DrainTimeout to finish, and
+// queued work is executed before the scheduler exits. Returns nil on a
+// clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	if s.lis == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.httpSrv.Serve(s.lis) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	shutdownErr := s.httpSrv.Shutdown(drainCtx)
+	if err := s.sched.drain(drainCtx); err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return shutdownErr
+	}
+	return nil
+}
+
+// reqContext derives the request's execution context: the client connection
+// context bounded by the requested (clamped) or default timeout.
+func (s *Server) reqContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		QueueDepth:    s.sched.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Partitions:    s.acc.NumPartitions(),
+		Draining:      s.sched.draining(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.acc.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.sched.depth(), s.cfg.QueueDepth, accelSnapshot{
+		Partitions:     st.Partitions,
+		Workers:        st.Workers,
+		EnergyPJ:       st.EnergyPJ,
+		Programs:       st.Programs,
+		Batches:        st.Batches,
+		CacheHits:      st.Cache.Hits,
+		CacheMisses:    st.Cache.Misses,
+		CacheEvictions: st.Cache.Evictions,
+		CacheEntries:   st.Cache.Entries,
+		CacheCapacity:  st.Cache.Capacity,
+	})
+}
+
+func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
+	var req MatMulRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := validateMatMul(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.TimeoutMS)
+	defer cancel()
+
+	j := &job{
+		ctx:      ctx,
+		endpoint: "matmul",
+		enq:      time.Now(),
+		key:      weightFingerprint(req.M),
+		m:        req.M,
+		x:        req.X,
+		done:     make(chan jobResult, 1),
+	}
+	if !s.admit(w, j) {
+		return
+	}
+	res, ok := s.await(w, ctx, j)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, MatMulResponse{
+		C:         res.matmul,
+		Batched:   res.batched,
+		ElapsedMS: float64(time.Since(j.enq).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleConv2D(w http.ResponseWriter, r *http.Request) {
+	var req Conv2DRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Stride == 0 {
+		req.Stride = 1
+	}
+	if err := validateConv2D(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.TimeoutMS)
+	defer cancel()
+
+	j := &job{
+		ctx:      ctx,
+		endpoint: "conv2d",
+		enq:      time.Now(),
+		done:     make(chan jobResult, 1),
+		run: func(ctx context.Context) (any, error) {
+			return s.acc.Conv2DCtx(ctx, req.Input, req.Kernels, req.Stride, req.Pad)
+		},
+	}
+	if !s.admit(w, j) {
+		return
+	}
+	res, ok := s.await(w, ctx, j)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, Conv2DResponse{
+		Output:    res.direct.([][][]float64),
+		ElapsedMS: float64(time.Since(j.enq).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	model, ok := s.models[req.Model]
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("unknown model %q; available: %v", req.Model, modelNames(s.models)))
+		return
+	}
+	if err := model.checkInput(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.reqContext(r, req.TimeoutMS)
+	defer cancel()
+
+	j := &job{
+		ctx:      ctx,
+		endpoint: "infer",
+		enq:      time.Now(),
+		done:     make(chan jobResult, 1),
+		run: func(ctx context.Context) (any, error) {
+			return model.infer(ctx, s.acc, &req)
+		},
+	}
+	if !s.admit(w, j) {
+		return
+	}
+	res, ok2 := s.await(w, ctx, j)
+	if !ok2 {
+		return
+	}
+	logits := res.direct.([]float64)
+	writeJSON(w, http.StatusOK, InferResponse{
+		Model:     req.Model,
+		Logits:    logits,
+		Class:     argmax(logits),
+		ElapsedMS: float64(time.Since(j.enq).Microseconds()) / 1000,
+	})
+}
+
+// decode reads and unmarshals the request body, answering 400/413 itself.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// admit submits the job, answering 503 + Retry-After on backpressure.
+func (s *Server) admit(w http.ResponseWriter, j *job) bool {
+	if err := s.sched.submit(j); err != nil {
+		s.met.observeRejected()
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		msg := "admission queue full, retry later"
+		if errors.Is(err, errDraining) {
+			msg = "server draining"
+		}
+		writeError(w, http.StatusServiceUnavailable, msg)
+		return false
+	}
+	return true
+}
+
+// await blocks until the job completes or its context expires, mapping
+// outcomes onto status codes. Returns (result, true) only on success.
+func (s *Server) await(w http.ResponseWriter, ctx context.Context, j *job) (jobResult, bool) {
+	var res jobResult
+	select {
+	case res = <-j.done:
+	case <-ctx.Done():
+		res = jobResult{err: ctx.Err()}
+	}
+	elapsed := time.Since(j.enq)
+	switch {
+	case res.err == nil:
+		s.met.observeRequest(j.endpoint, elapsed, false)
+		return res, true
+	case errors.Is(res.err, context.DeadlineExceeded):
+		s.met.observeRequest(j.endpoint, elapsed, true)
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(res.err, context.Canceled):
+		// Client went away; nothing useful to write.
+		s.met.observeRequest(j.endpoint, elapsed, true)
+		writeError(w, http.StatusGatewayTimeout, "request cancelled")
+	default:
+		s.met.observeRequest(j.endpoint, elapsed, true)
+		writeError(w, http.StatusInternalServerError, res.err.Error())
+	}
+	return res, false
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
