@@ -1,0 +1,192 @@
+package main
+
+// The -fabric mode benchmarks the dynamic fabric arbiter for tracking in
+// BENCH_fabric.json: opportunistic compute throughput on an idle
+// interconnect versus a dedicated accelerator (acceptance: ≥90%), network
+// latency under load with the arbiter attached versus the network-only
+// baseline (acceptance: within 5%), and the reclaim latency of an
+// idle→busy load step against the cycle-budget SLO.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"flumen"
+	"flumen/internal/core"
+	"flumen/internal/fabric"
+	"flumen/internal/fabricrun"
+)
+
+type fabricThroughputResult struct {
+	Dim          int     `json:"dim"`
+	WallMS       int64   `json:"wall_ms"`
+	DedicatedOps int64   `json:"dedicated_ops"`
+	FabricOps    int64   `json:"fabric_ops"`
+	Ratio        float64 `json:"ratio"`
+}
+
+type fabricLatencyResult struct {
+	Rate         float64 `json:"rate"`
+	BaselineP50  int64   `json:"baseline_p50_cycles"`
+	MixedP50     int64   `json:"mixed_p50_cycles"`
+	BaselineP99  int64   `json:"baseline_p99_cycles"`
+	MixedP99     int64   `json:"mixed_p99_cycles"`
+	BaselineAvg  float64 `json:"baseline_avg_cycles"`
+	MixedAvg     float64 `json:"mixed_avg_cycles"`
+	AvgDeltaPct  float64 `json:"avg_delta_pct"`
+	ComputeOps   int64   `json:"compute_ops"`
+	LeakedLeases int     `json:"leaked_leases"`
+}
+
+type fabricReclaimResult struct {
+	StepRate          float64 `json:"step_rate"`
+	LeasesGranted     int64   `json:"leases_granted"`
+	LeasesPreempted   int64   `json:"leases_preempted"`
+	LeasesReclaimed   int64   `json:"leases_reclaimed"`
+	PreemptedItems    int64   `json:"preempted_items"`
+	MaxReclaimCycles  int64   `json:"max_reclaim_cycles"`
+	ReclaimBudget     int     `json:"reclaim_budget_cycles"`
+	SLOViolations     int64   `json:"slo_violations"`
+	ComputeOps        int64   `json:"compute_ops"`
+	StolenCycleShares int64   `json:"compute_cycles_stolen"`
+}
+
+type fabricReport struct {
+	Throughput fabricThroughputResult `json:"idle_throughput"`
+	Latency    []fabricLatencyResult  `json:"latency_vs_load"`
+	Reclaim    fabricReclaimResult    `json:"reclaim_step"`
+}
+
+// idleTicker feeds the arbiter zero-traffic telemetry in the background so
+// the idle detector keeps the compute window open, pacing simulated cycles
+// against the wall clock to stay cheap on a small host.
+func idleTicker(ctx context.Context, arb *fabric.Arbiter) {
+	var cycle int64
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for i := 0; i < 64; i++ {
+			arb.Tick(cycle, 0, 0)
+			cycle++
+		}
+	}
+}
+
+func runFabricBench(outPath string) error {
+	var report fabricReport
+	np := core.DefaultNetworkParams()
+
+	// Opportunistic vs dedicated compute throughput at zero network load.
+	const dim, seed = 32, 9
+	wall := 2 * time.Second
+	ded, err := flumen.NewAccelerator(64, 8)
+	if err != nil {
+		return err
+	}
+	dedOps := fabricrun.MeasureComputeOps(ded, dim, seed, wall)
+
+	fa, err := flumen.NewAccelerator(64, 8)
+	if err != nil {
+		return err
+	}
+	arb, err := fabric.New(fabric.Config{Partitions: fa.NumPartitions(), Nodes: np.Nodes})
+	if err != nil {
+		return err
+	}
+	if err := fa.AttachFabric(arb); err != nil {
+		return err
+	}
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	go idleTicker(tickCtx, arb)
+	fabOps := fabricrun.MeasureComputeOps(fa, dim, seed, wall)
+	stopTick()
+	arb.Close()
+
+	report.Throughput = fabricThroughputResult{
+		Dim: dim, WallMS: wall.Milliseconds(),
+		DedicatedOps: dedOps, FabricOps: fabOps,
+		Ratio: float64(fabOps) / float64(dedOps),
+	}
+	fmt.Printf("idle throughput: dedicated %d ops, fabric-attached %d ops (ratio %.3f, acceptance ≥0.90)\n",
+		dedOps, fabOps, report.Throughput.Ratio)
+
+	// Network latency with and without the arbiter at moderate-to-high load.
+	fcfg := &fabric.Config{ReclaimBudget: 5000}
+	base := fabricrun.Options{
+		Ports: 64, Block: 8, Nodes: np.Nodes,
+		WidthBits: np.MZIMWidthBits, SetupCycles: np.MZIMSetupCycles,
+	}
+	for _, rate := range []float64{0.1, 0.2, 0.4} {
+		bo := base
+		bo.Rate = rate
+		baseline, err := fabricrun.Run(bo)
+		if err != nil {
+			return err
+		}
+		mo := bo
+		mo.Fabric = fcfg
+		mo.Compute = true
+		mixed, err := fabricrun.Run(mo)
+		if err != nil {
+			return err
+		}
+		delta := 0.0
+		if baseline.AvgLatency > 0 {
+			delta = 100 * (mixed.AvgLatency - baseline.AvgLatency) / baseline.AvgLatency
+		}
+		report.Latency = append(report.Latency, fabricLatencyResult{
+			Rate:        rate,
+			BaselineP50: baseline.P50Latency, MixedP50: mixed.P50Latency,
+			BaselineP99: baseline.P99Latency, MixedP99: mixed.P99Latency,
+			BaselineAvg: baseline.AvgLatency, MixedAvg: mixed.AvgLatency,
+			AvgDeltaPct: delta,
+			ComputeOps:  mixed.ComputeOps, LeakedLeases: mixed.LeakedLeases,
+		})
+		fmt.Printf("load %.2f: baseline p50/p99 %d/%d, mixed p50/p99 %d/%d, Δavg %+.2f%% (acceptance ±5%%), %d compute ops\n",
+			rate, baseline.P50Latency, baseline.P99Latency, mixed.P50Latency, mixed.P99Latency, delta, mixed.ComputeOps)
+	}
+
+	// Idle→busy step: reclaim latency against the cycle-budget SLO.
+	so := base
+	so.Rate = 0.4
+	so.Fabric = fcfg
+	so.Compute = true
+	so.StepAt = 1000
+	so.Warmup = 4000
+	step, err := fabricrun.Run(so)
+	if err != nil {
+		return err
+	}
+	fs := step.Fabric
+	report.Reclaim = fabricReclaimResult{
+		StepRate:      so.Rate,
+		LeasesGranted: fs.LeasesGranted, LeasesPreempted: fs.LeasesPreempted,
+		LeasesReclaimed: fs.LeasesReclaimed, PreemptedItems: fs.PreemptedItems,
+		MaxReclaimCycles: fs.MaxReclaimCycles, ReclaimBudget: fcfg.ReclaimBudget,
+		SLOViolations: fs.ReclaimSLOViolations,
+		ComputeOps:    step.ComputeOps, StolenCycleShares: fs.ComputeCyclesStolen,
+	}
+	fmt.Printf("reclaim step to %.2f: %d preempted, %d reclaimed, max %d cycles (budget %d, violations %d)\n",
+		so.Rate, fs.LeasesPreempted, fs.LeasesReclaimed, fs.MaxReclaimCycles, fcfg.ReclaimBudget, fs.ReclaimSLOViolations)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -8,12 +8,17 @@
 //
 //	flumen-bench [-benchmark name] [-scale n] [-energy] [-speedup] [-edp]
 //	flumen-bench -engine [-engineout file]
+//	flumen-bench -fabric [-fabricout file]
 //
 // With no selector flags all three tables print. -scale shrinks the
 // workloads by the given linear factor for quick runs. -engine instead
 // times the parallel compute engine (serial vs pooled MatMul, cold vs
 // warm-cache Conv2D) and writes the results to -engineout
-// (BENCH_engine.json by default).
+// (BENCH_engine.json by default). -fabric benchmarks the dynamic fabric
+// arbiter — opportunistic compute throughput at zero network load versus a
+// dedicated accelerator, network latency under load versus the
+// network-only baseline, and the reclaim latency of an idle→busy load
+// step — and writes BENCH_fabric.json.
 package main
 
 import (
@@ -37,10 +42,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full result grid as JSON")
 	engine := flag.Bool("engine", false, "benchmark the parallel compute engine and program cache")
 	engineOut := flag.String("engineout", "BENCH_engine.json", "output file for -engine results")
+	fabricBench := flag.Bool("fabric", false, "benchmark the dynamic fabric arbiter (throughput, latency, reclaim)")
+	fabricOut := flag.String("fabricout", "BENCH_fabric.json", "output file for -fabric results")
 	flag.Parse()
 
 	if *engine {
 		if err := runEngineBench(*engineOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fabricBench {
+		if err := runFabricBench(*fabricOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"flumen/internal/fabric"
+	"flumen/internal/fabricrun"
+	"flumen/internal/noc"
+	"flumen/internal/serve"
+)
+
+// driveFabricTraffic runs the background NoP side of the dynamic fabric: a
+// cycle-accurate MZIM network carrying Bernoulli uniform traffic at the
+// configured offered load, feeding per-cycle telemetry to the server's
+// arbiter. When the load keeps the network busy, the arbiter reclaims the
+// compute partitions and the serving layer sheds requests with 503; when
+// the network idles, compute gets the fabric back. Simulated time is paced
+// against the wall clock so the loop stays cheap next to request serving.
+func driveFabricTraffic(ctx context.Context, srv *serve.Server, rate float64) {
+	arb := srv.Fabric()
+	fc := arb.Config()
+	nodes := fc.Nodes
+	net := noc.NewMZIM(nodes, 256, 3)
+	pat := noc.Uniform(nodes)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+
+	const cyclesPerWake = 64
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+
+	var cycle int64
+	var nextID int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for i := 0; i < cyclesPerWake; i++ {
+			if rate > 0 {
+				for s := 0; s < nodes; s++ {
+					if rng.Float64() < rate {
+						p := &noc.Packet{ID: nextID, Src: s, Dst: pat.Dest(s, rng), Bits: 640}
+						nextID++
+						net.Inject(p, cycle)
+					}
+				}
+			}
+			net.Step(cycle)
+			inj, occ := net.CycleTelemetry()
+			arb.Tick(cycle, inj, occ)
+			fabricrun.ApplyPortWithdrawal(net, arb.HeldPartitions(), nodes)
+			cycle++
+		}
+		// While reclaiming, slow simulated time down so the engine's workers
+		// get wall-clock time to notice preemption within the cycle budget.
+		if arb.Mode() == fabric.ModeReclaiming {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}

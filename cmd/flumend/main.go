@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"flumen/internal/fabric"
 	"flumen/internal/serve"
 )
 
@@ -42,7 +43,14 @@ func main() {
 	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "graceful shutdown budget")
 	flag.Int64Var(&cfg.InferSeed, "infer-seed", cfg.InferSeed, "seed for the built-in model weights")
+	fabricOn := flag.Bool("fabric", false, "attach the dynamic fabric arbiter and drive background NoP traffic")
+	fabricRate := flag.Float64("fabric-rate", 0.0, "background NoP offered load in packets/node/cycle (with -fabric; 0 = idle network)")
+	fabricBudget := flag.Int("fabric-budget", 0, "reclaim cycle-budget SLO (0 = default)")
 	flag.Parse()
+
+	if *fabricOn {
+		cfg.Fabric = &fabric.Config{ReclaimBudget: *fabricBudget}
+	}
 
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -58,6 +66,11 @@ func main() {
 	st := srv.Accelerator().Stats()
 	log.Printf("flumend: listening on %s (fabric %d ports, %d partitions of %d, cache %d programs)",
 		srv.Addr(), st.Ports, st.Partitions, st.BlockSize, st.Cache.Capacity)
+	if arb := srv.Fabric(); arb != nil {
+		log.Printf("flumend: dynamic fabric arbiter attached (%d partitions, background load %.3f packets/node/cycle)",
+			arb.Partitions(), *fabricRate)
+		go driveFabricTraffic(ctx, srv, *fabricRate)
+	}
 
 	start := time.Now()
 	if err := srv.Run(ctx); err != nil {
@@ -66,4 +79,9 @@ func main() {
 	st = srv.Accelerator().Stats()
 	log.Printf("flumend: drained cleanly after %s (%d programs, %d λ-batches, %.0f pJ, cache %d/%d hits/misses)",
 		time.Since(start).Round(time.Millisecond), st.Programs, st.Batches, st.EnergyPJ, st.Cache.Hits, st.Cache.Misses)
+	if arb := srv.Fabric(); arb != nil {
+		fs := arb.Stats()
+		log.Printf("flumend: fabric saw %d lease grants, %d reclaims (max %d cycles), %d items preempted, %d compute-cycles stolen",
+			fs.LeasesGranted, fs.LeasesReclaimed, fs.MaxReclaimCycles, fs.PreemptedItems, fs.ComputeCyclesStolen)
+	}
 }

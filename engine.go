@@ -5,8 +5,10 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 
+	"flumen/internal/fabric"
 	"flumen/internal/mat"
 	"flumen/internal/optics"
 	"flumen/internal/photonic"
@@ -48,6 +50,11 @@ type callConfig struct {
 	noiseCall int64
 	lambdas   int
 	cache     *programCache
+	// fab and parts are the fabric-arbitration snapshot: when fab is
+	// non-nil, partitions are granted by lease (parts indexed by the
+	// lease's partition number) instead of the free pool.
+	fab   *fabric.Arbiter
+	parts []*photonic.Partition
 }
 
 // itemResult is one work item's contribution: the block's partial output
@@ -102,6 +109,8 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 		noiseSeed: a.noiseSeed,
 		lambdas:   a.lambdas,
 		cache:     a.cache,
+		fab:       a.fab,
+		parts:     a.partitions,
 	}
 	a.mu.RUnlock()
 	// ADC full scale: a unit-spectral-norm block driven by |x|∞ ≤ 1 inputs
@@ -117,20 +126,7 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 	workers := min(cfg.workers, items)
 
 	if workers <= 1 {
-		p, err := a.checkout(ctx)
-		if err != nil {
-			return nil, err
-		}
-		scratch := newScratch(n)
-		for idx := 0; idx < items && err == nil; idx++ {
-			if err = ctx.Err(); err != nil {
-				break
-			}
-			c, r := idx/bi, idx%bi
-			err = a.computeItem(p, scratch, pm, px, r, c, nrhs, &cfg, &results[idx])
-		}
-		a.pool <- p
-		if err != nil {
+		if err := a.runItems(ctx, 0, 1, items, bi, nrhs, pm, px, &cfg, results); err != nil {
 			return nil, err
 		}
 	} else {
@@ -140,24 +136,7 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				p, err := a.checkout(ctx)
-				if err != nil {
-					errs[g] = err
-					return
-				}
-				defer func() { a.pool <- p }()
-				scratch := newScratch(n)
-				for idx := g; idx < items; idx += workers {
-					if err := ctx.Err(); err != nil {
-						errs[g] = err
-						return
-					}
-					c, r := idx/bi, idx%bi
-					if err := a.computeItem(p, scratch, pm, px, r, c, nrhs, &cfg, &results[idx]); err != nil {
-						errs[g] = err
-						return
-					}
-				}
+				errs[g] = a.runItems(ctx, g, workers, items, bi, nrhs, pm, px, &cfg, results)
 			}(g)
 		}
 		wg.Wait()
@@ -191,20 +170,104 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 	return out, nil
 }
 
-// checkout acquires a partition from the pool, giving up as soon as the
-// context is cancelled so callers never block on a pool drained by
-// long-running work they no longer want.
-func (a *Accelerator) checkout(ctx context.Context) (*photonic.Partition, error) {
+// partHandle pairs a checked-out partition with the fabric lease that
+// granted it; lease is nil when no arbiter is attached and the partition
+// came from the free pool.
+type partHandle struct {
+	p     *photonic.Partition
+	lease *fabric.Lease
+}
+
+// checkout acquires a partition — from the attached fabric arbiter when
+// one is configured (blocking while the fabric carries traffic), otherwise
+// from the pool — giving up as soon as the context is cancelled so callers
+// never block on capacity drained by work they no longer want.
+func (a *Accelerator) checkout(ctx context.Context, cfg *callConfig) (partHandle, error) {
+	if cfg.fab != nil {
+		l, err := cfg.fab.Acquire(ctx)
+		if err != nil {
+			return partHandle{}, err
+		}
+		return partHandle{p: cfg.parts[l.Partition()], lease: l}, nil
+	}
 	// Fast path: a cancelled context always loses, even when a partition is
 	// simultaneously available (select would pick at random).
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return partHandle{}, err
 	}
 	select {
 	case p := <-a.pool:
-		return p, nil
+		return partHandle{p: p}, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return partHandle{}, ctx.Err()
+	}
+}
+
+// checkin returns a checked-out partition: leases are released to the
+// arbiter, pool partitions go back on the channel.
+func (a *Accelerator) checkin(h partHandle) {
+	switch {
+	case h.lease != nil:
+		h.lease.Release()
+	case h.p != nil:
+		a.pool <- h.p
+	}
+}
+
+// runItems executes one worker's stripe of work items (idx = g, g+workers,
+// …), honouring lease preemption at block-item granularity: when the
+// arbiter reclaims the fabric, the worker finishes nothing speculatively —
+// the pending item is re-queued behind a fresh Acquire (which blocks until
+// the fabric is handed back) and retried on whichever partition the new
+// lease grants. Results stay bitwise-identical to the serial path because
+// partial results merge serially in index order and a compiled block
+// program propagates independently of the partition that runs it.
+func (a *Accelerator) runItems(ctx context.Context, g, workers, items, bi, nrhs int, pm, px *mat.Dense, cfg *callConfig, results []itemResult) error {
+	h, err := a.checkout(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() { a.checkin(h) }()
+	scratch := newScratch(a.blockSize)
+	for idx := g; idx < items; idx += workers {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if h.lease == nil || !preempted(h.lease) {
+				break
+			}
+			// Yield the fabric: count the pending item as re-queued, release
+			// the lease, and park in Acquire until compute is allowed again.
+			cfg.fab.NotePreemptedItems(1)
+			a.checkin(h)
+			h = partHandle{}
+			if h, err = a.checkout(ctx, cfg); err != nil {
+				return err
+			}
+		}
+		c, r := idx/bi, idx%bi
+		if err := a.computeItem(h.p, scratch, pm, px, r, c, nrhs, cfg, &results[idx]); err != nil {
+			return err
+		}
+		if h.lease != nil {
+			// Cooperative yield between leased items: a cycle-driven arbiter
+			// running on the same CPU gets a chance to tick — and preempt —
+			// while the lease is demonstrably held, instead of only ever
+			// observing the zero-lease instants at stripe boundaries.
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// preempted reports whether the lease's preemption channel has been closed.
+func preempted(l *fabric.Lease) bool {
+	select {
+	case <-l.Preempted():
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,0 +1,183 @@
+package flumen
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"flumen/internal/fabric"
+)
+
+func fabricTestMatrices(t *testing.T, dim int) (m, x [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	m = make([][]float64, dim)
+	x = make([][]float64, dim)
+	for i := range m {
+		m[i] = make([]float64, dim)
+		x[i] = make([]float64, dim)
+		for j := range m[i] {
+			m[i][j] = rng.Float64()*2 - 1
+			x[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return m, x
+}
+
+func newFabricAccel(t *testing.T) (*Accelerator, *fabric.Arbiter) {
+	t.Helper()
+	a, err := NewAccelerator(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, err := fabric.New(fabric.Config{
+		Partitions:        a.NumPartitions(),
+		Nodes:             8,
+		IdleWindow:        4,
+		IdleThreshold:     0.05,
+		BusyThreshold:     0.1,
+		OccupancyPatience: 4,
+		MinIdleCycles:     4,
+		ReclaimBudget:     1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachFabric(arb); err != nil {
+		t.Fatal(err)
+	}
+	return a, arb
+}
+
+func TestAttachFabricValidation(t *testing.T) {
+	a, err := NewAccelerator(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachFabric(nil); err == nil {
+		t.Error("attached nil arbiter")
+	}
+	wrong, _ := fabric.New(fabric.Config{Partitions: a.NumPartitions() + 1, Nodes: 4})
+	if err := a.AttachFabric(wrong); err == nil {
+		t.Error("attached arbiter with mismatched partition count")
+	}
+	right, _ := fabric.New(fabric.Config{Partitions: a.NumPartitions(), Nodes: 4})
+	if err := a.AttachFabric(right); err != nil {
+		t.Fatalf("valid attach failed: %v", err)
+	}
+	if err := a.AttachFabric(right); err == nil {
+		t.Error("double attach accepted")
+	}
+	if a.Fabric() != right {
+		t.Error("Fabric() does not return the attached arbiter")
+	}
+	if _, err := a.RoutePermutation(make([]int, 16)); err == nil {
+		t.Error("RoutePermutation allowed while arbiter attached")
+	}
+	if s := a.Stats(); s.Fabric == nil || s.Fabric.Partitions != a.NumPartitions() {
+		t.Errorf("Stats missing fabric snapshot: %+v", s.Fabric)
+	}
+}
+
+func TestFabricIdleMatMulMatchesDedicated(t *testing.T) {
+	m, x := fabricTestMatrices(t, 16)
+	ded, err := NewAccelerator(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ded.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, arb := newFabricAccel(t)
+	got, err := fa.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwiseEqual(t, want, got)
+	if st := arb.Stats(); st.ActiveLeases != 0 || st.LeasesGranted == 0 {
+		t.Fatalf("lease accounting after idle MatMul: %+v", st)
+	}
+}
+
+// TestFabricPreemptionBitwiseDeterminism forces repeated mid-call
+// preemptions by driving busy/idle telemetry bursts while a MatMul is in
+// flight, then checks the result is bit-for-bit the dedicated engine's.
+func TestFabricPreemptionBitwiseDeterminism(t *testing.T) {
+	// 64×64 over 4×4 blocks → 256 work items, enough in-flight work that
+	// the telemetry bursts land while leases are held.
+	m, x := fabricTestMatrices(t, 64)
+	ded, err := NewAccelerator(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ded.SetWorkers(1)
+	want, err := ded.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fa, arb := newFabricAccel(t)
+	type out struct {
+		res [][]float64
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := fa.MatMul(m, x)
+		done <- out{res, err}
+	}()
+
+	// Alternate busy bursts (forcing preemption of whatever leases are out)
+	// with idle windows (letting the call resume), until it completes.
+	var cycle int64
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				t.Fatal(o.err)
+			}
+			assertBitwiseEqual(t, want, o.res)
+			st := arb.Stats()
+			if st.LeasesPreempted == 0 || st.PreemptedItems == 0 {
+				t.Fatalf("call completed without any forced preemption: %+v", st)
+			}
+			if st.ActiveLeases != 0 {
+				t.Fatalf("%d leases leaked", st.ActiveLeases)
+			}
+			return
+		case <-deadline:
+			t.Fatal("preempted MatMul never completed")
+		default:
+		}
+		for i := 0; i < 8; i++ {
+			arb.Tick(cycle, 16, 8)
+			cycle++
+		}
+		runtime.Gosched()
+		for i := 0; i < 24; i++ {
+			arb.Tick(cycle, 0, 0)
+			cycle++
+			if i%4 == 0 {
+				runtime.Gosched()
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func assertBitwiseEqual(t *testing.T, want, got [][]float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("shape mismatch: %d vs %d rows", len(want), len(got))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("result differs at (%d,%d): %v vs %v", i, j, want[i][j], got[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// testConfig keeps windows and hysteresis small so tests drive the state
+// machine in a handful of ticks.
+func testConfig() Config {
+	return Config{
+		Partitions:        2,
+		Nodes:             4,
+		IdleWindow:        8,
+		IdleThreshold:     0.05,
+		BusyThreshold:     0.1,
+		OccupancyPatience: 8,
+		MinIdleCycles:     16,
+		ReclaimBudget:     100,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Arbiter {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// tickIdle feeds n cycles of zero telemetry starting at cycle from.
+func tickIdle(a *Arbiter, from int64, n int) int64 {
+	for i := 0; i < n; i++ {
+		a.Tick(from, 0, 0)
+		from++
+	}
+	return from
+}
+
+// tickBusy feeds n cycles of saturating telemetry.
+func tickBusy(a *Arbiter, from int64, n int) int64 {
+	for i := 0; i < n; i++ {
+		a.Tick(from, 4, 4)
+		from++
+	}
+	return from
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Partitions: 0, Nodes: 4}); err == nil {
+		t.Error("accepted zero partitions")
+	}
+	if _, err := New(Config{Partitions: 2, Nodes: 0}); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := New(Config{Partitions: 2, Nodes: 4, IdleThreshold: 0.5, BusyThreshold: 0.1}); err == nil {
+		t.Error("accepted inverted hysteresis band")
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	a := mustNew(t, testConfig())
+	if got := a.Mode(); got != ModeIdle {
+		t.Fatalf("initial mode %v, want idle", got)
+	}
+
+	l1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Mode(); got != ModeCompute {
+		t.Fatalf("mode after first grant %v, want compute-leased", got)
+	}
+	l2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Partition() == l2.Partition() {
+		t.Fatalf("both leases granted partition %d", l1.Partition())
+	}
+
+	// No partitions left: a bounded Acquire must time out.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire on exhausted pool: %v, want deadline exceeded", err)
+	}
+
+	l1.Release()
+	l1.Release() // idempotent
+	l3, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Partition() != l1.Partition() {
+		t.Fatalf("re-grant gave partition %d, want freed %d", l3.Partition(), l1.Partition())
+	}
+	l2.Release()
+	l3.Release()
+	if got := a.Mode(); got != ModeIdle {
+		t.Fatalf("mode after all releases %v, want idle", got)
+	}
+
+	st := a.Stats()
+	if st.LeasesGranted != 3 || st.ActiveLeases != 0 || st.FreePartitions != 2 {
+		t.Fatalf("stats after lifecycle: %+v", st)
+	}
+}
+
+func TestStateMachineFullCycle(t *testing.T) {
+	a := mustNew(t, testConfig())
+	l, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic arrives: compute-leased → reclaiming, lease preempted.
+	cycle := tickBusy(a, 0, 3)
+	if got := a.Mode(); got != ModeReclaiming {
+		t.Fatalf("mode under traffic with a lease out: %v, want reclaiming", got)
+	}
+	select {
+	case <-l.Preempted():
+	default:
+		t.Fatal("lease not preempted in reclaiming mode")
+	}
+
+	// Grants are refused while reclaiming.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire during reclaim: %v, want deadline exceeded", err)
+	}
+
+	// Returning the last lease completes the reclaim.
+	l.Release()
+	if got := a.Mode(); got != ModeTraffic {
+		t.Fatalf("mode after reclaim completes: %v, want traffic", got)
+	}
+	st := a.Stats()
+	if st.LeasesPreempted != 1 || st.LeasesReclaimed != 1 {
+		t.Fatalf("preemption counters: %+v", st)
+	}
+	if st.LastReclaimCycles < 0 || st.MaxReclaimCycles != st.LastReclaimCycles {
+		t.Fatalf("reclaim latency accounting: %+v", st)
+	}
+
+	// Idleness must persist MinIdleCycles before compute returns (plus the
+	// sliding window draining the busy samples first).
+	idleTicks := 0
+	for ; idleTicks < 1000 && a.Mode() != ModeIdle; idleTicks++ {
+		a.Tick(cycle, 0, 0)
+		cycle++
+	}
+	if got := a.Mode(); got != ModeIdle {
+		t.Fatalf("mode after %d zero-load cycles: %v, want idle", idleTicks, got)
+	}
+	if idleTicks < testConfig().MinIdleCycles {
+		t.Fatalf("fabric handed back after only %d idle cycles, hysteresis is %d",
+			idleTicks, testConfig().MinIdleCycles)
+	}
+	if _, err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after fabric returned to idle: %v", err)
+	}
+	if a.Stats().ModeTransitions < 4 {
+		t.Fatalf("transitions %d, want the full idle→compute→reclaiming→traffic→idle walk", a.Stats().ModeTransitions)
+	}
+}
+
+func TestIdleToTrafficDirect(t *testing.T) {
+	a := mustNew(t, testConfig())
+	tickBusy(a, 0, 2)
+	if got := a.Mode(); got != ModeTraffic {
+		t.Fatalf("busy telemetry with no leases: mode %v, want traffic (no reclaim detour)", got)
+	}
+	if a.Stats().LeasesPreempted != 0 {
+		t.Fatal("phantom preemption with no leases outstanding")
+	}
+}
+
+func TestOccupancyAlonAssertsBusy(t *testing.T) {
+	cfg := testConfig()
+	a := mustNew(t, cfg)
+	// Injection stopped, but packets are stuck in endpoint buffers (e.g.
+	// destined to withdrawn ports): after OccupancyPatience cycles the
+	// arbiter must reclaim anyway.
+	for i := 0; i < cfg.OccupancyPatience+1; i++ {
+		a.Tick(int64(i), 0, 3)
+	}
+	if got := a.Mode(); got != ModeTraffic {
+		t.Fatalf("sustained occupancy: mode %v, want traffic", got)
+	}
+}
+
+func TestAcquireUnblocksWhenFabricReturns(t *testing.T) {
+	a := mustNew(t, testConfig())
+	cycle := tickBusy(a, 0, 2) // → traffic
+
+	got := make(chan error, 1)
+	go func() {
+		l, err := a.Acquire(context.Background())
+		if err == nil {
+			l.Release()
+		}
+		got <- err
+	}()
+
+	// The acquire must still be parked, then released by hysteresis expiry.
+	select {
+	case err := <-got:
+		t.Fatalf("Acquire returned (%v) while fabric was in traffic mode", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cfg := testConfig()
+	tickIdle(a, cycle, cfg.IdleWindow+cfg.MinIdleCycles+8)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Acquire after idle: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire never unblocked after fabric went idle")
+	}
+}
+
+func TestReclaimSLOViolationCountedOnce(t *testing.T) {
+	cfg := testConfig()
+	a := mustNew(t, cfg)
+	_, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := tickBusy(a, 0, 1) // → reclaiming; lease never released
+	tickBusy(a, cycle, cfg.ReclaimBudget+50)
+	st := a.Stats()
+	if st.ReclaimSLOViolations != 1 {
+		t.Fatalf("SLO violations %d, want exactly 1 for one overrunning reclaim", st.ReclaimSLOViolations)
+	}
+	if st.ComputeCyclesStolen == 0 {
+		t.Fatal("no compute cycles counted as stolen during reclaim")
+	}
+}
+
+func TestAcquireContextAndClose(t *testing.T) {
+	a := mustNew(t, testConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire with cancelled ctx: %v", err)
+	}
+
+	tickBusy(a, 0, 2) // park future acquires
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background())
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Acquire after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake blocked Acquire")
+	}
+}
+
+func TestNotePreemptedItemsAndHeldPartitions(t *testing.T) {
+	a := mustNew(t, testConfig())
+	l, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := a.HeldPartitions()
+	if len(held) != 1 || held[0] != l.Partition() {
+		t.Fatalf("HeldPartitions = %v, want [%d]", held, l.Partition())
+	}
+	a.NotePreemptedItems(3)
+	a.NotePreemptedItems(2)
+	if got := a.Stats().PreemptedItems; got != 5 {
+		t.Fatalf("PreemptedItems = %d, want 5", got)
+	}
+	l.Release()
+	if held := a.HeldPartitions(); len(held) != 0 {
+		t.Fatalf("HeldPartitions after release = %v, want empty", held)
+	}
+}

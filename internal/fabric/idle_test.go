@@ -1,0 +1,98 @@
+package fabric
+
+import "testing"
+
+func detConfig() Config {
+	return Config{
+		Partitions:        1,
+		Nodes:             4,
+		IdleWindow:        4,
+		IdleThreshold:     0.1,
+		BusyThreshold:     0.25,
+		OccupancyPatience: 3,
+		MinIdleCycles:     8,
+	}.withDefaults()
+}
+
+func TestDetectorBusyThreshold(t *testing.T) {
+	d := newIdleDetector(detConfig())
+	// Alternating 1/0 injection: steady windowed sum 2 over 4 cycles and 4
+	// nodes → rate 2/16 = 0.125, below the busy threshold.
+	var busy bool
+	for i := 0; i < 8; i++ {
+		busy, _ = d.observe(i%2, 0)
+	}
+	if busy {
+		t.Fatalf("rate %g below busy threshold asserted busy", d.rate())
+	}
+	// Sustained injection of 1/cycle lifts the rate to 4/16 = 0.25, exactly
+	// the busy threshold.
+	for i := 0; i < 4; i++ {
+		busy, _ = d.observe(1, 0)
+	}
+	if !busy {
+		t.Fatalf("rate %g at busy threshold did not assert busy", d.rate())
+	}
+	// Rate decays as zeros displace the ones.
+	for i := 0; i < 4; i++ {
+		busy, _ = d.observe(0, 0)
+	}
+	if busy {
+		t.Fatalf("busy still asserted after window drained, rate %g", d.rate())
+	}
+}
+
+func TestDetectorHysteresisDeadZone(t *testing.T) {
+	d := newIdleDetector(detConfig())
+	// Alternating 1/0 holds the rate at 0.125: above idle (0.1), below busy
+	// (0.25). In the dead zone the detector must assert neither busy nor
+	// accrue idleness.
+	var busy bool
+	var idleRun int
+	for i := 0; i < 17; i++ {
+		busy, idleRun = d.observe((i+1)%2, 0)
+	}
+	if busy {
+		t.Fatalf("mid-band rate %g asserted busy", d.rate())
+	}
+	if idleRun != 0 {
+		t.Fatalf("mid-band rate %g accrued idle run %d", d.rate(), idleRun)
+	}
+}
+
+func TestDetectorIdleRunResets(t *testing.T) {
+	d := newIdleDetector(detConfig())
+	var idleRun int
+	for i := 0; i < 6; i++ {
+		_, idleRun = d.observe(0, 0)
+	}
+	if idleRun != 6 {
+		t.Fatalf("idle run %d after 6 idle cycles, want 6", idleRun)
+	}
+	// A single cycle with occupied buffers resets the run even at zero
+	// injection.
+	if _, idleRun = d.observe(0, 1); idleRun != 0 {
+		t.Fatalf("idle run %d after occupied cycle, want 0", idleRun)
+	}
+	if _, idleRun = d.observe(0, 0); idleRun != 1 {
+		t.Fatalf("idle run %d, want restart at 1", idleRun)
+	}
+}
+
+func TestDetectorOccupancyPatience(t *testing.T) {
+	d := newIdleDetector(detConfig())
+	// Zero injection but buffers stuck non-empty: busy asserts only after
+	// OccupancyPatience (3) consecutive occupied cycles.
+	for i := 1; i <= 2; i++ {
+		if busy, _ := d.observe(0, 2); busy {
+			t.Fatalf("busy asserted after %d occupied cycles, patience is 3", i)
+		}
+	}
+	if busy, _ := d.observe(0, 2); !busy {
+		t.Fatal("busy not asserted once occupancy patience ran out")
+	}
+	// One empty cycle resets the patience counter.
+	if busy, _ := d.observe(0, 0); busy {
+		t.Fatal("busy stuck after buffers drained")
+	}
+}

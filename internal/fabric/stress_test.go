@@ -1,0 +1,119 @@
+package fabric
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStressNoDoubleGrant hammers the arbiter with concurrent acquirers
+// while a ticker goroutine randomly flips the fabric between idle and busy,
+// forcing preemptions mid-flight. Each partition carries an atomic
+// ownership flag: a successful CAS 0→1 right after Acquire proves exclusive
+// grant, and the flag is cleared before Release so the mutex ordering
+// inside Release publishes the store to the next grantee. Run with -race.
+func TestStressNoDoubleGrant(t *testing.T) {
+	const (
+		partitions = 4
+		holders    = 8
+		duration   = 300 * time.Millisecond
+	)
+	a := mustNew(t, Config{
+		Partitions:        partitions,
+		Nodes:             8,
+		IdleWindow:        4,
+		IdleThreshold:     0.05,
+		BusyThreshold:     0.1,
+		OccupancyPatience: 4,
+		MinIdleCycles:     2,
+		ReclaimBudget:     1 << 20, // SLO not under test here
+	})
+
+	owned := make([]int32, partitions)
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	var grants, preemptions int64
+	var wg sync.WaitGroup
+	for h := 0; h < holders; h++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				l, err := a.Acquire(ctx)
+				if err != nil {
+					return
+				}
+				p := l.Partition()
+				if !atomic.CompareAndSwapInt32(&owned[p], 0, 1) {
+					t.Errorf("double grant: partition %d already owned", p)
+					atomic.StoreInt32(&owned[p], 0)
+					l.Release()
+					return
+				}
+				atomic.AddInt64(&grants, 1)
+				// Simulate a few work items, honouring preemption between
+				// them like the engine does.
+				items := 1 + rng.Intn(4)
+				for i := 0; i < items; i++ {
+					select {
+					case <-l.Preempted():
+						atomic.AddInt64(&preemptions, 1)
+						a.NotePreemptedItems(1)
+						i = items // drop remaining items
+					default:
+						if rng.Intn(3) == 0 {
+							time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+						}
+					}
+				}
+				atomic.StoreInt32(&owned[p], 0)
+				l.Release()
+			}
+		}(int64(h) + 1)
+	}
+
+	// Ticker: random busy bursts force compute → reclaiming → traffic →
+	// idle round trips while holders churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		var cycle int64
+		for ctx.Err() == nil {
+			burst := rng.Intn(2) == 0
+			n := 3 + rng.Intn(6)
+			for i := 0; i < n; i++ {
+				if burst {
+					a.Tick(cycle, 8, 4)
+				} else {
+					a.Tick(cycle, 0, 0)
+				}
+				cycle++
+			}
+			time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	a.Close()
+
+	st := a.Stats()
+	if st.ActiveLeases != 0 || st.FreePartitions != partitions {
+		t.Fatalf("leaked leases at shutdown: %+v", st)
+	}
+	for p, o := range owned {
+		if atomic.LoadInt32(&o) != 0 {
+			t.Fatalf("partition %d still flagged owned after all holders exited", p)
+		}
+	}
+	if grants == 0 {
+		t.Fatal("stress loop made no grants; test exercised nothing")
+	}
+	t.Logf("stress: %d grants, %d preempted holds, %d mode transitions",
+		grants, preemptions, st.ModeTransitions)
+}

@@ -1,0 +1,45 @@
+package fabricrun
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"flumen"
+)
+
+// PumpMatrices builds the deterministic dim×dim operand pair the compute
+// pump multiplies. The weight matrix is fixed across calls so repeated
+// pumps hit the accelerator's weight-program cache, the same way a serving
+// workload reuses its model weights.
+func PumpMatrices(dim int, seed int64) (m, x [][]float64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	m = make([][]float64, dim)
+	x = make([][]float64, dim)
+	for i := 0; i < dim; i++ {
+		m[i] = make([]float64, dim)
+		x[i] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			m[i][j] = rng.Float64()*2 - 1
+			x[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return m, x
+}
+
+// MeasureComputeOps pumps dim×dim MatMuls through the accelerator for the
+// given wall-clock duration and returns the number of completed calls.
+// Used to compare opportunistic (fabric-attached, idle interconnect)
+// against dedicated compute throughput.
+func MeasureComputeOps(accel *flumen.Accelerator, dim int, seed int64, wall time.Duration) int64 {
+	m, x := PumpMatrices(dim, seed)
+	ctx, cancel := context.WithTimeout(context.Background(), wall)
+	defer cancel()
+	var ops int64
+	for ctx.Err() == nil {
+		if _, err := accel.MatMulCtx(ctx, m, x); err == nil {
+			ops++
+		}
+	}
+	return ops
+}

@@ -28,8 +28,9 @@ type MZIMNet struct {
 	req     [][]bool
 	busyRow []bool
 	busyCol []bool
-	queued  int // total queued packets (skip arbitration when zero)
-	active  int // active connections
+	queued      int // total queued packets (skip arbitration when zero)
+	active      int // active connections
+	injectedNow int // packets injected since the last CycleTelemetry read
 
 	sink     func(*Packet, int64)
 	counters Counters
@@ -125,8 +126,19 @@ func (m *MZIMNet) Inject(p *Packet, now int64) bool {
 	p.InjectCycle = now
 	m.queues[p.Src] = append(m.queues[p.Src], p)
 	m.queued++
+	m.injectedNow++
 	m.counters.InjectedPackets++
 	return true
+}
+
+// CycleTelemetry returns the packets injected since the previous call and
+// the current total endpoint buffer occupancy, then resets the injection
+// counter. Read once per cycle, this is the feed for a fabric arbiter's
+// idle detector.
+func (m *MZIMNet) CycleTelemetry() (injected, queued int) {
+	injected = m.injectedNow
+	m.injectedNow = 0
+	return injected, m.queued
 }
 
 func (m *MZIMNet) deliver(p *Packet, dst int, now int64) {

@@ -14,6 +14,11 @@ type RunConfig struct {
 	DrainCycles   int64 // extra cycles to let measured packets finish
 	Seed          int64
 	ClockGHz      float64 // for Gbps conversions
+
+	// OnCycle, when set, is invoked after every network step with the cycle
+	// just simulated — the hook a fabric arbiter uses to sample per-cycle
+	// telemetry (injections, buffer occupancy) in lockstep with the run.
+	OnCycle func(now int64, net Network)
 }
 
 // DefaultRunConfig returns the standard configuration: 640-bit packets
@@ -121,6 +126,9 @@ func RunSynthetic(net Network, pat Pattern, injectRate float64, cfg RunConfig) R
 			}
 		}
 		net.Step(cycle)
+		if cfg.OnCycle != nil {
+			cfg.OnCycle(cycle, net)
+		}
 		if !generating && len(measuredSet) == 0 {
 			cycle++
 			break

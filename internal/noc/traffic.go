@@ -77,6 +77,19 @@ func Transpose(n int) Pattern {
 	}
 }
 
+// BitComplement returns the bit-complement pattern: the destination is the
+// bitwise complement of the source within log2(n) bits, so every packet
+// crosses the network midpoint. n must be a power of two.
+func BitComplement(n int) Pattern {
+	log2Exact(n)
+	return Pattern{
+		Name: "bitcomp",
+		Dest: func(src int, _ *rand.Rand) int {
+			return ^src & (n - 1)
+		},
+	}
+}
+
 // Tornado returns the tornado pattern: each node sends halfway around the
 // network, the worst case for rings.
 func Tornado(n int) Pattern {
@@ -124,7 +137,7 @@ func Hotspot(n, hot int, fraction float64) Pattern {
 
 // AllPatterns returns the full synthetic pattern set for n nodes.
 func AllPatterns(n int) []Pattern {
-	ps := []Pattern{Uniform(n), BitReversal(n), Shuffle(n), Tornado(n), Neighbor(n)}
+	ps := []Pattern{Uniform(n), BitReversal(n), Shuffle(n), BitComplement(n), Tornado(n), Neighbor(n)}
 	if b := log2Exact(n); b%2 == 0 {
 		ps = append(ps, Transpose(n))
 	}

@@ -13,6 +13,8 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"flumen/internal/fabric"
 )
 
 // Config parameterizes the server and its scheduler.
@@ -67,6 +69,13 @@ type Config struct {
 	// models, so a fleet of flumend instances started with the same seed
 	// serves identical models.
 	InferSeed int64
+
+	// Fabric, when non-nil, attaches a dynamic fabric arbiter: compute runs
+	// under time-bounded leases and NoP traffic can reclaim the fabric at any
+	// time. While the fabric is claimed for traffic, new requests are shed
+	// with 503 backpressure instead of queuing behind a stalled fabric.
+	// Partitions and Nodes are filled in from the accelerator geometry.
+	Fabric *fabric.Config
 }
 
 // DefaultConfig returns production-leaning defaults on a 32-port fabric.

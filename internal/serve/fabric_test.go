@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flumen/internal/fabric"
+)
+
+func fabricTestConfig() Config {
+	cfg := testConfig()
+	cfg.Fabric = &fabric.Config{
+		IdleWindow:        4,
+		IdleThreshold:     0.05,
+		BusyThreshold:     0.1,
+		OccupancyPatience: 4,
+		MinIdleCycles:     4,
+		ReclaimBudget:     1 << 20,
+	}
+	return cfg
+}
+
+// driveIdle ticks enough zero-traffic cycles that the arbiter's sliding
+// window drains and the fabric returns to idle.
+func driveIdle(arb *fabric.Arbiter, from int64) int64 {
+	fc := arb.Config()
+	for i := 0; i < fc.IdleWindow+fc.MinIdleCycles+8; i++ {
+		arb.Tick(from, 0, 0)
+		from++
+	}
+	return from
+}
+
+func TestFabricBackpressure(t *testing.T) {
+	s, hs := newTestServer(t, fabricTestConfig())
+	arb := s.Fabric()
+	if arb == nil {
+		t.Fatal("server built with fabric config has no arbiter")
+	}
+
+	req := MatMulRequest{
+		M: [][]float64{{1, 0}, {0, 1}},
+		X: [][]float64{{2, 0}, {0, 2}},
+	}
+
+	// Idle fabric: compute is admitted and succeeds.
+	resp, _ := postJSON(t, hs.URL+"/v1/matmul", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idle-fabric matmul: status %d", resp.StatusCode)
+	}
+
+	// Sustained traffic claims the fabric; new work is shed with 503.
+	var cycle int64
+	fc := arb.Config()
+	for i := 0; i < fc.IdleWindow+4; i++ {
+		arb.Tick(cycle, fc.Nodes, fc.Nodes)
+		cycle++
+	}
+	if arb.ComputeAvailable() {
+		t.Fatalf("fabric still grants compute after sustained traffic, mode %v", arb.Mode())
+	}
+	resp, body := postJSON(t, hs.URL+"/v1/matmul", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("traffic-claimed matmul: status %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	if !strings.Contains(string(body), "fabric reclaimed") {
+		t.Errorf("503 body does not name the fabric: %s", body)
+	}
+
+	// Traffic subsides: the idle detector re-opens the window and requests
+	// are admitted again.
+	driveIdle(arb, cycle)
+	if !arb.ComputeAvailable() {
+		t.Fatalf("fabric still refuses compute after idle run, mode %v", arb.Mode())
+	}
+	resp, _ = postJSON(t, hs.URL+"/v1/matmul", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered matmul: status %d", resp.StatusCode)
+	}
+}
+
+func TestFabricMetricsExposition(t *testing.T) {
+	s, hs := newTestServer(t, fabricTestConfig())
+
+	req := MatMulRequest{
+		M: [][]float64{{1, 0}, {0, 1}},
+		X: [][]float64{{3, 0}, {0, 3}},
+	}
+	if resp, _ := postJSON(t, hs.URL+"/v1/matmul", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("matmul: status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		"flumend_fabric_mode{mode=",
+		"flumend_fabric_active_leases 0",
+		"flumend_fabric_mode_transitions_total",
+		"flumend_fabric_leases_granted_total",
+		"flumend_fabric_leases_preempted_total",
+		"flumend_fabric_partitions_reclaimed_total",
+		"flumend_fabric_preempted_items_total",
+		"flumend_fabric_compute_cycles_stolen_total",
+		"flumend_fabric_reclaim_slo_violations_total",
+		"flumend_fabric_injection_rate",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "flumend_fabric_leases_granted_total 0\n") {
+		t.Error("matmul under fabric recorded zero lease grants")
+	}
+
+	// A dedicated (no-fabric) server must not emit fabric series.
+	_, hs2 := newTestServer(t, testConfig())
+	resp2, err := http.Get(hs2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	b2, _ := io.ReadAll(resp2.Body)
+	if strings.Contains(string(b2), "flumend_fabric_") {
+		t.Error("dedicated server exposes fabric metrics")
+	}
+	if s.Fabric() == nil {
+		t.Error("fabric server lost its arbiter")
+	}
+}

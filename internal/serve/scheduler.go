@@ -24,6 +24,10 @@ var (
 	errQueueFull = errors.New("serve: admission queue full")
 	// errDraining is returned once shutdown has begun.
 	errDraining = errors.New("serve: server draining")
+	// errNoCapacity is returned while the fabric arbiter has reclaimed the
+	// partitions for NoP traffic: queued work would only stall behind a
+	// fabric it cannot lease, so new requests are shed instead.
+	errNoCapacity = errors.New("serve: fabric reclaimed for network traffic")
 )
 
 // job is one admitted request. Exactly one of (key, m, x) — a batchable
@@ -85,6 +89,11 @@ func (s *scheduler) submit(j *job) error {
 	defer s.mu.RUnlock()
 	if s.closed {
 		return errDraining
+	}
+	if fab := s.acc.Fabric(); fab != nil && !fab.ComputeAvailable() {
+		// Traffic owns the fabric: reclaimed capacity surfaces as explicit
+		// backpressure, not as requests stalled in the queue.
+		return errNoCapacity
 	}
 	select {
 	case s.queue <- j:

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flumen"
+	"flumen/internal/fabric"
 )
 
 // Server is the flumend HTTP front end: handlers decode and validate
@@ -50,6 +51,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Precision > 0 {
 		acc.SetPrecision(cfg.Precision)
 	}
+	if cfg.Fabric != nil {
+		fcfg := *cfg.Fabric
+		fcfg.Partitions = acc.NumPartitions()
+		if fcfg.Nodes == 0 {
+			fcfg.Nodes = acc.NumPartitions()
+		}
+		arb, err := fabric.New(fcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.AttachFabric(arb); err != nil {
+			return nil, err
+		}
+	}
 
 	s := &Server{
 		cfg:    cfg,
@@ -75,6 +90,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Accelerator exposes the backing accelerator's public surface (read-only
 // observation, e.g. Stats()).
 func (s *Server) Accelerator() *flumen.Accelerator { return s.acc }
+
+// Fabric returns the attached dynamic fabric arbiter, or nil when the
+// server runs with dedicated compute partitions. A NoP driver feeds it
+// per-cycle telemetry via Tick.
+func (s *Server) Fabric() *fabric.Arbiter { return s.acc.Fabric() }
 
 // Addr returns the bound listen address once Run has started.
 func (s *Server) Addr() string {
@@ -154,7 +174,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.acc.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.sched.depth(), s.cfg.QueueDepth, accelSnapshot{
+	snap := accelSnapshot{
 		Partitions:     st.Partitions,
 		Workers:        st.Workers,
 		EnergyPJ:       st.EnergyPJ,
@@ -165,7 +185,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions: st.Cache.Evictions,
 		CacheEntries:   st.Cache.Entries,
 		CacheCapacity:  st.Cache.Capacity,
-	})
+	}
+	if fs := st.Fabric; fs != nil {
+		snap.Fabric = &fabricSnapshot{
+			Mode:            int(fs.Mode),
+			ModeName:        fs.Mode.String(),
+			ActiveLeases:    fs.ActiveLeases,
+			FreePartitions:  fs.FreePartitions,
+			ModeTransitions: fs.ModeTransitions,
+			Granted:         fs.LeasesGranted,
+			Preempted:       fs.LeasesPreempted,
+			Reclaimed:       fs.LeasesReclaimed,
+			PreemptedItems:  fs.PreemptedItems,
+			StolenCycles:    fs.ComputeCyclesStolen,
+			SLOViolations:   fs.ReclaimSLOViolations,
+			LastReclaim:     fs.LastReclaimCycles,
+			MaxReclaim:      fs.MaxReclaimCycles,
+			InjectionRate:   fs.InjectionRate,
+		}
+	}
+	s.met.write(w, s.sched.depth(), s.cfg.QueueDepth, snap)
 }
 
 func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
@@ -309,8 +348,11 @@ func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		msg := "admission queue full, retry later"
-		if errors.Is(err, errDraining) {
+		switch {
+		case errors.Is(err, errDraining):
 			msg = "server draining"
+		case errors.Is(err, errNoCapacity):
+			msg = "fabric reclaimed for network traffic, retry later"
 		}
 		writeError(w, http.StatusServiceUnavailable, msg)
 		return false
