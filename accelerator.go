@@ -50,6 +50,17 @@ type Accelerator struct {
 	noiseOn   bool
 	noiseSeed int64
 
+	// partIdx maps each partition back to its index so pool-mode checkouts
+	// know which health/fault record they hold; rebuilt with partitions.
+	partIdx map[*photonic.Partition]int
+	// faults holds the per-partition runtime fault injectors (nil entries
+	// = pristine device); replaced copy-on-write by InjectFaults so
+	// call-time snapshots never see a torn slice.
+	faults []*photonic.FaultInjector
+	// health, when enabled, runs calibration probes between work items and
+	// quarantines/recalibrates degraded partitions (see health.go).
+	health *healthMonitor
+
 	// noiseCall numbers the matMul calls of one noisy run so every call —
 	// and every (block-row, block-col) item within it — draws from its own
 	// deterministic noise stream regardless of worker scheduling.
@@ -100,8 +111,16 @@ func (a *Accelerator) buildPartitions() error {
 		}
 		parts = append(parts, p)
 	}
+	idx := make(map[*photonic.Partition]int, len(parts))
+	for i, p := range parts {
+		idx[p] = i
+	}
 	a.mu.Lock()
 	a.partitions = parts
+	a.partIdx = idx
+	if len(a.faults) != len(parts) {
+		a.faults = make([]*photonic.FaultInjector, len(parts))
+	}
 	a.mu.Unlock()
 	if a.pool == nil {
 		a.pool = make(chan *photonic.Partition, count)
@@ -277,6 +296,9 @@ type Stats struct {
 	// Fabric is the attached dynamic-fabric arbiter's snapshot (nil when
 	// the accelerator owns its partitions outright).
 	Fabric *fabric.Stats
+	// Health is the device-health subsystem snapshot (nil when the monitor
+	// was never enabled).
+	Health *HealthStats
 }
 
 // Stats returns a consistent read-only snapshot of geometry, configuration,
@@ -293,6 +315,8 @@ func (a *Accelerator) Stats() Stats {
 	}
 	c := a.cache
 	fab := a.fab
+	hm := a.health
+	faults := a.faults
 	a.mu.RUnlock()
 	s.EnergyPJ = a.meter.EnergyPJ()
 	s.Programs, s.Batches = a.meter.Counts()
@@ -302,6 +326,10 @@ func (a *Accelerator) Stats() Stats {
 	if fab != nil {
 		fs := fab.Stats()
 		s.Fabric = &fs
+	}
+	if hm != nil {
+		hs := hm.snapshot(faults)
+		s.Health = &hs
 	}
 	return s
 }
@@ -455,6 +483,11 @@ func (a *Accelerator) RoutePermutation(perm []int) ([]int, error) {
 		// NoP side owns traffic-mode routing; re-routing here would race the
 		// arbiter's grants.
 		return nil, fmt.Errorf("flumen: cannot re-route fabric while a dynamic fabric arbiter is attached")
+	}
+	if a.healthRef() != nil {
+		// Quarantined partitions are parked outside the pool, so the full
+		// drain below could block forever.
+		return nil, fmt.Errorf("flumen: cannot re-route fabric while the health monitor is enabled")
 	}
 	// Take every partition out of the pool so no worker is mid-flight while
 	// the fabric is re-routed; buildPartitions refills the same channel.

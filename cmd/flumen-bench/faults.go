@@ -1,0 +1,368 @@
+package main
+
+// The -faults mode benchmarks the device-health subsystem for tracking in
+// BENCH_faults.json: it sweeps phase-drift fault rates over a fabric with
+// two faulted partitions and compares MatMul accuracy across three
+// configurations — a healthy baseline, an unmonitored mesh that silently
+// degrades, and a monitored mesh where the health monitor quarantines and
+// recalibrates the faulted partitions. Acceptance: the monitored mesh stays
+// within 2× the healthy baseline's max element error while the unmonitored
+// mesh exceeds 10×, and a flumend instance with the monitor enabled keeps
+// answering 200 throughout.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"flumen"
+	"flumen/internal/photonic"
+	"flumen/internal/serve"
+)
+
+type faultsPoint struct {
+	DriftSigma float64 `json:"drift_sigma"`
+
+	// Max element error of one MatMul against the exact product.
+	BaselineErr    float64 `json:"baseline_err"`
+	UnmonitoredErr float64 `json:"unmonitored_err"`
+	MonitoredErr   float64 `json:"monitored_err"`
+	// Ratios to the healthy baseline (acceptance: unmonitored > 10,
+	// monitored ≤ 2).
+	UnmonitoredRatio float64 `json:"unmonitored_ratio"`
+	MonitoredRatio   float64 `json:"monitored_ratio"`
+
+	// Monitor activity over the degrade stream.
+	Probes         int64 `json:"probes"`
+	Quarantines    int64 `json:"quarantines"`
+	Recalibrations int64 `json:"recalibrations"`
+	RecalFailures  int64 `json:"recal_failures"`
+
+	// Calls/sec over the degrade stream: the monitored run pays for probes
+	// and recalibration; the unmonitored run is the no-overhead reference.
+	UnmonitoredCallsPerSec float64 `json:"unmonitored_calls_per_sec"`
+	MonitoredCallsPerSec   float64 `json:"monitored_calls_per_sec"`
+}
+
+type faultsServing struct {
+	DriftSigma float64 `json:"drift_sigma"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	NonOK      int     `json:"non_ok"`
+	Degraded   bool    `json:"healthz_reported_degraded"`
+}
+
+type faultsReport struct {
+	Ports        int            `json:"ports"`
+	Block        int            `json:"block"`
+	Partitions   int            `json:"partitions"`
+	Faulted      int            `json:"faulted_partitions"`
+	StreamCalls  int            `json:"stream_calls"`
+	Dim          int            `json:"dim"`
+	Cols         int            `json:"cols"`
+	Points       []faultsPoint  `json:"fault_sweep"`
+	Serving      faultsServing  `json:"serving"`
+	HealthConfig map[string]any `json:"health_config"`
+}
+
+// faultsHealthConfig probes aggressively so quarantine latency (in work
+// items) stays small relative to the drift rate.
+func faultsHealthConfig() flumen.HealthConfig {
+	return flumen.HealthConfig{
+		ProbeInterval:    1,
+		SuspectThreshold: 0.02,
+		QuarantineAfter:  1,
+		RecalPasses:      10,
+		MaxRecalAttempts: 4,
+	}
+}
+
+// exactMatMul is the float64 reference product.
+func exactMatMul(m, x [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = make([]float64, len(x[0]))
+		for k, mv := range m[i] {
+			for j, xv := range x[k] {
+				out[i][j] += mv * xv
+			}
+		}
+	}
+	return out
+}
+
+func maxElemErr(got, want [][]float64) float64 {
+	worst := 0.0
+	for i := range want {
+		for j := range want[i] {
+			if d := got[i][j] - want[i][j]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	return worst
+}
+
+// measureErr runs one MatMul and returns its max element error.
+func measureErr(a *flumen.Accelerator, m, x, want [][]float64) (float64, error) {
+	got, err := a.MatMul(m, x)
+	if err != nil {
+		return 0, err
+	}
+	return maxElemErr(got, want), nil
+}
+
+// injectDrift attaches drift injectors to the first `faulted` partitions.
+func injectDrift(a *flumen.Accelerator, faulted int, sigma float64) error {
+	for i := 0; i < faulted; i++ {
+		if err := a.InjectFaults(i, photonic.FaultConfig{DriftSigma: sigma, Seed: int64(100 + i)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stream drives calls MatMuls to accumulate drift, returning calls/sec.
+func stream(a *flumen.Accelerator, m, x [][]float64, calls int) (float64, error) {
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, err := a.MatMul(m, x); err != nil {
+			return 0, err
+		}
+	}
+	return float64(calls) / time.Since(start).Seconds(), nil
+}
+
+// freezeDrift stops the drift walk on the faulted partitions: the transient
+// fault source abates, but accumulated phase error stays until someone
+// recalibrates it.
+func freezeDrift(a *flumen.Accelerator, faulted int) {
+	for i := 0; i < faulted; i++ {
+		if inj := a.FaultInjector(i); inj != nil {
+			inj.SetDriftSigma(0)
+		}
+	}
+}
+
+// settleHealth drives scrub calls until the monitor has caught and
+// recovered every frozen-but-drifted partition: no partition out of
+// service, none in service with a failing last probe.
+func settleHealth(a *flumen.Accelerator, m, x [][]float64) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := a.MatMul(m, x); err != nil {
+			return err
+		}
+		st := a.HealthStats()
+		if st.Degraded() {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		clean := true
+		for _, p := range st.Partitions {
+			if p.Faulty && p.LastProbeError > st.ProbeThreshold {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return nil
+		}
+	}
+	return fmt.Errorf("faults: health monitor did not settle within 60s: %+v", a.HealthStats())
+}
+
+func runFaultsBench(outPath string, smoke bool) error {
+	ports, block, faulted := 64, 8, 2
+	streamCalls, dim, cols := 120, 64, 16
+	sigmas := []float64{0.005, 0.01, 0.02}
+	servingSecs := 2.0
+	if smoke {
+		streamCalls, sigmas, servingSecs = 40, []float64{0.02}, 0.5
+	}
+	hcfg := faultsHealthConfig()
+
+	rng := rand.New(rand.NewSource(41))
+	m := randMatrix(rng, dim, dim)
+	x := randMatrix(rng, dim, cols)
+	want := exactMatMul(m, x)
+
+	report := faultsReport{
+		Ports: ports, Block: block, Faulted: faulted,
+		StreamCalls: streamCalls, Dim: dim, Cols: cols,
+		HealthConfig: map[string]any{
+			"probe_interval":    hcfg.ProbeInterval,
+			"suspect_threshold": hcfg.SuspectThreshold,
+			"quarantine_after":  hcfg.QuarantineAfter,
+			"recal_passes":      hcfg.RecalPasses,
+		},
+	}
+
+	// Healthy baseline: quantization noise only, independent of the sweep.
+	healthy, err := flumen.NewAccelerator(ports, block)
+	if err != nil {
+		return err
+	}
+	report.Partitions = healthy.NumPartitions()
+	baseline, err := measureErr(healthy, m, x, want)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("healthy baseline: %d partitions, max element error %.4f\n", report.Partitions, baseline)
+
+	for _, sigma := range sigmas {
+		// Unmonitored: same faults, nobody watching — accuracy decays as
+		// drift accumulates over the stream.
+		unmon, err := flumen.NewAccelerator(ports, block)
+		if err != nil {
+			return err
+		}
+		if err := injectDrift(unmon, faulted, sigma); err != nil {
+			return err
+		}
+		unmonRate, err := stream(unmon, m, x, streamCalls)
+		if err != nil {
+			return err
+		}
+		// The transient fault source abates after the stream; the random-walk
+		// phase error it left behind persists, and with nobody watching it is
+		// never repaired.
+		freezeDrift(unmon, faulted)
+		unmonErr, err := measureErr(unmon, m, x, want)
+		if err != nil {
+			return err
+		}
+
+		// Monitored: identical faults under the health monitor.
+		mon, err := flumen.NewAccelerator(ports, block)
+		if err != nil {
+			return err
+		}
+		if err := mon.EnableHealthMonitor(hcfg); err != nil {
+			return err
+		}
+		if err := injectDrift(mon, faulted, sigma); err != nil {
+			return err
+		}
+		monRate, err := stream(mon, m, x, streamCalls)
+		if err != nil {
+			return err
+		}
+		// Same transient: after the fault source abates, the monitor's probes
+		// catch the leftover phase error, quarantine the partitions, and
+		// background recalibration nulls it — so the measurement sees a fully
+		// recovered pool, where the unmonitored mesh is still broken.
+		freezeDrift(mon, faulted)
+		if err := settleHealth(mon, m, x); err != nil {
+			return err
+		}
+		monErr, err := measureErr(mon, m, x, want)
+		if err != nil {
+			return err
+		}
+		st := mon.HealthStats()
+
+		pt := faultsPoint{
+			DriftSigma:  sigma,
+			BaselineErr: baseline, UnmonitoredErr: unmonErr, MonitoredErr: monErr,
+			UnmonitoredRatio: unmonErr / baseline, MonitoredRatio: monErr / baseline,
+			Probes: st.Probes, Quarantines: st.Quarantines,
+			Recalibrations: st.Recalibrations, RecalFailures: st.RecalFailures,
+			UnmonitoredCallsPerSec: unmonRate, MonitoredCallsPerSec: monRate,
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("sigma %.3f: unmonitored err %.4f (%.1f× baseline), monitored err %.4f (%.1f×), %d quarantines, %d recalibrations, %.0f vs %.0f calls/s\n",
+			sigma, unmonErr, pt.UnmonitoredRatio, monErr, pt.MonitoredRatio,
+			st.Quarantines, st.Recalibrations, unmonRate, monRate)
+		if smoke {
+			if pt.MonitoredRatio > 2 {
+				return fmt.Errorf("faults: monitored error %.4f exceeds 2× baseline %.4f", monErr, baseline)
+			}
+			if pt.UnmonitoredRatio < 10 {
+				return fmt.Errorf("faults: unmonitored error %.4f under 10× baseline %.4f — fault injection too weak", unmonErr, baseline)
+			}
+			if st.Quarantines == 0 || st.Recalibrations == 0 {
+				return fmt.Errorf("faults: monitor never cycled (quarantines %d, recalibrations %d)", st.Quarantines, st.Recalibrations)
+			}
+		}
+	}
+
+	// Serving: a flumend instance with the monitor enabled and the worst
+	// sweep drift injected must answer 200 for every request while the
+	// monitor quarantines and recovers underneath it.
+	serving, err := runFaultsServing(sigmas[len(sigmas)-1], faulted, hcfg, servingSecs)
+	if err != nil {
+		return err
+	}
+	report.Serving = serving
+	fmt.Printf("serving under faults: %d/%d requests OK, degraded observed: %v\n",
+		serving.OK, serving.Requests, serving.Degraded)
+	if smoke && serving.NonOK > 0 {
+		return fmt.Errorf("faults: %d of %d requests failed while degraded", serving.NonOK, serving.Requests)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+func runFaultsServing(sigma float64, faulted int, hcfg flumen.HealthConfig, secs float64) (faultsServing, error) {
+	out := faultsServing{DriftSigma: sigma}
+	cfg := serve.DefaultConfig()
+	cfg.Ports, cfg.BlockSize = 32, 8
+	cfg.Health = &hcfg
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return out, err
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	if err := injectDrift(srv.Accelerator(), faulted, sigma); err != nil {
+		return out, err
+	}
+
+	rng := rand.New(rand.NewSource(43))
+	req := serve.MatMulRequest{M: randMatrix(rng, 16, 16), X: randMatrix(rng, 16, 4)}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	deadline := time.Now().Add(time.Duration(secs * float64(time.Second)))
+	for time.Now().Before(deadline) {
+		resp, err := http.Post(hs.URL+"/v1/matmul", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return out, err
+		}
+		resp.Body.Close()
+		out.Requests++
+		if resp.StatusCode == http.StatusOK {
+			out.OK++
+		} else {
+			out.NonOK++
+		}
+		if hz, err := http.Get(hs.URL + "/healthz"); err == nil {
+			var h serve.HealthResponse
+			if json.NewDecoder(hz.Body).Decode(&h) == nil && h.Status == "degraded" {
+				out.Degraded = true
+			}
+			hz.Body.Close()
+		}
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@
 //	flumen-bench [-benchmark name] [-scale n] [-energy] [-speedup] [-edp]
 //	flumen-bench -engine [-engineout file]
 //	flumen-bench -fabric [-fabricout file]
+//	flumen-bench -faults [-faultsout file] [-smoke]
 //
 // With no selector flags all three tables print. -scale shrinks the
 // workloads by the given linear factor for quick runs. -engine instead
@@ -18,7 +19,12 @@
 // arbiter — opportunistic compute throughput at zero network load versus a
 // dedicated accelerator, network latency under load versus the
 // network-only baseline, and the reclaim latency of an idle→busy load
-// step — and writes BENCH_fabric.json.
+// step — and writes BENCH_fabric.json. -faults sweeps injected phase-drift
+// rates over a fabric with two faulted partitions, comparing MatMul
+// accuracy and throughput for an unmonitored mesh against the device-health
+// monitor (quarantine + in-situ recalibration), plus a flumend serving
+// check, and writes BENCH_faults.json; -smoke shrinks the sweep and exits
+// non-zero if the acceptance thresholds are missed.
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 	engineOut := flag.String("engineout", "BENCH_engine.json", "output file for -engine results")
 	fabricBench := flag.Bool("fabric", false, "benchmark the dynamic fabric arbiter (throughput, latency, reclaim)")
 	fabricOut := flag.String("fabricout", "BENCH_fabric.json", "output file for -fabric results")
+	faultsBench := flag.Bool("faults", false, "benchmark the device-health monitor (fault sweep: accuracy, throughput, serving)")
+	faultsOut := flag.String("faultsout", "BENCH_faults.json", "output file for -faults results")
+	smoke := flag.Bool("smoke", false, "with -faults: shrink the sweep and fail on acceptance violations")
 	flag.Parse()
 
 	if *engine {
@@ -55,6 +64,13 @@ func main() {
 	}
 	if *fabricBench {
 		if err := runFabricBench(*fabricOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *faultsBench {
+		if err := runFaultsBench(*faultsOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

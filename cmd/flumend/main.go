@@ -24,7 +24,9 @@ import (
 	"syscall"
 	"time"
 
+	"flumen"
 	"flumen/internal/fabric"
+	"flumen/internal/photonic"
 	"flumen/internal/serve"
 )
 
@@ -46,10 +48,17 @@ func main() {
 	fabricOn := flag.Bool("fabric", false, "attach the dynamic fabric arbiter and drive background NoP traffic")
 	fabricRate := flag.Float64("fabric-rate", 0.0, "background NoP offered load in packets/node/cycle (with -fabric; 0 = idle network)")
 	fabricBudget := flag.Int("fabric-budget", 0, "reclaim cycle-budget SLO (0 = default)")
+	healthOn := flag.Bool("health", false, "enable the device-health monitor (probe, quarantine, recalibrate)")
+	probeEvery := flag.Int("health-probe-interval", 0, "work items between calibration probes (0 = default)")
+	faultDrift := flag.Float64("fault-drift", 0, "demo: inject phase drift of this sigma per step into -fault-parts partitions (implies -health)")
+	faultParts := flag.Int("fault-parts", 1, "demo: number of partitions given injected faults (with -fault-drift)")
 	flag.Parse()
 
 	if *fabricOn {
 		cfg.Fabric = &fabric.Config{ReclaimBudget: *fabricBudget}
+	}
+	if *healthOn || *faultDrift > 0 {
+		cfg.Health = &flumen.HealthConfig{ProbeInterval: *probeEvery}
 	}
 
 	srv, err := serve.New(cfg)
@@ -70,6 +79,22 @@ func main() {
 		log.Printf("flumend: dynamic fabric arbiter attached (%d partitions, background load %.3f packets/node/cycle)",
 			arb.Partitions(), *fabricRate)
 		go driveFabricTraffic(ctx, srv, *fabricRate)
+	}
+	if cfg.Health != nil {
+		log.Printf("flumend: device-health monitor enabled (probe threshold %g)", srv.Accelerator().HealthStats().ProbeThreshold)
+	}
+	if *faultDrift > 0 {
+		acc := srv.Accelerator()
+		n := *faultParts
+		if n > st.Partitions {
+			n = st.Partitions
+		}
+		for i := 0; i < n; i++ {
+			if err := acc.InjectFaults(i, photonic.FaultConfig{DriftSigma: *faultDrift, Seed: int64(1 + i)}); err != nil {
+				log.Fatalf("flumend: %v", err)
+			}
+		}
+		log.Printf("flumend: demo fault injection on %d partition(s), drift sigma %g/step", n, *faultDrift)
 	}
 
 	start := time.Now()

@@ -55,6 +55,19 @@ type callConfig struct {
 	// lease's partition number) instead of the free pool.
 	fab   *fabric.Arbiter
 	parts []*photonic.Partition
+	// faults and health are the device-health snapshot: per-partition
+	// fault injectors corrupt each executed program, and the monitor (when
+	// enabled) probes and quarantines between items (see health.go).
+	faults []*photonic.FaultInjector
+	health *healthMonitor
+}
+
+// injector returns the fault injector of partition idx, or nil.
+func (cfg *callConfig) injector(idx int) *photonic.FaultInjector {
+	if idx < 0 || idx >= len(cfg.faults) {
+		return nil
+	}
+	return cfg.faults[idx]
 }
 
 // itemResult is one work item's contribution: the block's partial output
@@ -111,6 +124,8 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 		cache:     a.cache,
 		fab:       a.fab,
 		parts:     a.partitions,
+		faults:    a.faults,
+		health:    a.health,
 	}
 	a.mu.RUnlock()
 	// ADC full scale: a unit-spectral-norm block driven by |x|∞ ≤ 1 inputs
@@ -170,11 +185,12 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 	return out, nil
 }
 
-// partHandle pairs a checked-out partition with the fabric lease that
-// granted it; lease is nil when no arbiter is attached and the partition
-// came from the free pool.
+// partHandle pairs a checked-out partition with its index and the fabric
+// lease that granted it; lease is nil when no arbiter is attached and the
+// partition came from the free pool.
 type partHandle struct {
 	p     *photonic.Partition
+	idx   int
 	lease *fabric.Lease
 }
 
@@ -188,7 +204,7 @@ func (a *Accelerator) checkout(ctx context.Context, cfg *callConfig) (partHandle
 		if err != nil {
 			return partHandle{}, err
 		}
-		return partHandle{p: cfg.parts[l.Partition()], lease: l}, nil
+		return partHandle{p: cfg.parts[l.Partition()], idx: l.Partition(), lease: l}, nil
 	}
 	// Fast path: a cancelled context always loses, even when a partition is
 	// simultaneously available (select would pick at random).
@@ -197,19 +213,35 @@ func (a *Accelerator) checkout(ctx context.Context, cfg *callConfig) (partHandle
 	}
 	select {
 	case p := <-a.pool:
-		return partHandle{p: p}, nil
+		return partHandle{p: p, idx: a.partitionIndex(p)}, nil
 	case <-ctx.Done():
 		return partHandle{}, ctx.Err()
 	}
 }
 
+// partitionIndex resolves a partition pointer back to its index in the
+// registry (for health/fault bookkeeping).
+func (a *Accelerator) partitionIndex(p *photonic.Partition) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if i, ok := a.partIdx[p]; ok {
+		return i
+	}
+	return -1
+}
+
 // checkin returns a checked-out partition: leases are released to the
-// arbiter, pool partitions go back on the channel.
+// arbiter, pool partitions go back on the channel — unless the health
+// monitor quarantined the partition while it was held, in which case the
+// monitor parks it and starts background recalibration.
 func (a *Accelerator) checkin(h partHandle) {
 	switch {
 	case h.lease != nil:
 		h.lease.Release()
 	case h.p != nil:
+		if hm := a.healthRef(); hm != nil && hm.parkIfQuarantined(a, h.idx, h.p) {
+			return
+		}
 		a.pool <- h.p
 	}
 }
@@ -223,16 +255,22 @@ func (a *Accelerator) checkin(h partHandle) {
 // partial results merge serially in index order and a compiled block
 // program propagates independently of the partition that runs it.
 func (a *Accelerator) runItems(ctx context.Context, g, workers, items, bi, nrhs int, pm, px *mat.Dense, cfg *callConfig, results []itemResult) error {
-	h, err := a.checkout(ctx, cfg)
-	if err != nil {
-		return err
-	}
+	var h partHandle
+	var err error
 	defer func() { a.checkin(h) }()
 	scratch := newScratch(a.blockSize)
 	for idx := g; idx < items; idx += workers {
 		for {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if h.p == nil {
+				// First item, or the previous partition was quarantined:
+				// acquire lazily so a worker that just finished its stripe
+				// never blocks on capacity it no longer needs.
+				if h, err = a.checkout(ctx, cfg); err != nil {
+					return err
+				}
 			}
 			if h.lease == nil || !preempted(h.lease) {
 				break
@@ -242,13 +280,20 @@ func (a *Accelerator) runItems(ctx context.Context, g, workers, items, bi, nrhs 
 			cfg.fab.NotePreemptedItems(1)
 			a.checkin(h)
 			h = partHandle{}
-			if h, err = a.checkout(ctx, cfg); err != nil {
-				return err
-			}
 		}
 		c, r := idx/bi, idx%bi
-		if err := a.computeItem(h.p, scratch, pm, px, r, c, nrhs, cfg, &results[idx]); err != nil {
+		if err := a.computeItem(h.p, h.idx, scratch, pm, px, r, c, nrhs, cfg, &results[idx]); err != nil {
 			return err
+		}
+		if cfg.health != nil && cfg.health.afterItem(a, cfg, h) {
+			// The partition we hold just failed its calibration probe and
+			// was quarantined: hand it to the monitor and continue the
+			// stripe on whichever healthy partition the next checkout
+			// grants. Results are unaffected — the remaining items merge in
+			// the same serial order regardless of which partition runs them.
+			a.checkin(h)
+			h = partHandle{}
+			continue
 		}
 		if h.lease != nil {
 			// Cooperative yield between leased items: a cycle-driven arbiter
@@ -275,7 +320,7 @@ func preempted(l *fabric.Lease) bool {
 // partition p: fetch or compile the block's weight program, apply it to
 // the fabric, and stream the nrhs right-hand-side columns through the
 // compiled lattice in λ batches.
-func (a *Accelerator) computeItem(p *photonic.Partition, s *workerScratch, pm, px *mat.Dense, r, c, nrhs int, cfg *callConfig, res *itemResult) error {
+func (a *Accelerator) computeItem(p *photonic.Partition, pidx int, s *workerScratch, pm, px *mat.Dense, r, c, nrhs int, cfg *callConfig, res *itemResult) error {
 	n := a.blockSize
 	blk := mat.Block(pm, n, r, c)
 	bp, err := a.programFor(blk, cfg.cache)
@@ -287,6 +332,15 @@ func (a *Accelerator) computeItem(p *photonic.Partition, s *workerScratch, pm, p
 	// energy accounting and fabric state match the device model.
 	if err := p.Apply(bp); err != nil {
 		return err
+	}
+	// With a fault injector attached, the hardware realizes a corrupted
+	// version of the program it was asked for: drift advances one step per
+	// item and the propagation below runs through the corrupted lattice.
+	// The cached program itself is never touched.
+	run := bp
+	if inj := cfg.injector(pidx); inj != nil {
+		inj.Step(1)
+		run = inj.Corrupt(bp)
 	}
 	res.programPJ = a.ep.FlumenProgramPJ(n)
 	res.out = make([]complex128, nrhs*n)
@@ -321,7 +375,7 @@ func (a *Accelerator) computeItem(p *photonic.Partition, s *workerScratch, pm, p
 			// physical partition: the result is identical math but does not
 			// depend on the partition's wire offset, which is what makes
 			// parallel output bitwise-equal to serial.
-			out := bp.ForwardInto(s.res, seg)
+			out := run.ForwardInto(s.res, seg)
 			if bp.Scale != 1 {
 				for i := range out {
 					out[i] *= scaleC

@@ -1,0 +1,222 @@
+package flumen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"flumen/internal/fabric"
+	"flumen/internal/photonic"
+)
+
+// healthTestConfig probes after every item and quarantines on the first
+// failing probe so tests converge in a handful of MatMul calls.
+func healthTestConfig() HealthConfig {
+	return HealthConfig{
+		ProbeInterval:    1,
+		SuspectThreshold: 0.02,
+		QuarantineAfter:  1,
+		RecalPasses:      8,
+		MaxRecalAttempts: 3,
+	}
+}
+
+func testMatrices(n int, seed int64) (m, x [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	m = make([][]float64, n)
+	x = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		x[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = rng.Float64()*2 - 1
+			x[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return m, x
+}
+
+// driveUntil runs MatMul calls until pred(stats) holds or the deadline
+// passes, returning the last snapshot.
+func driveUntil(t *testing.T, a *Accelerator, pred func(HealthStats) bool) HealthStats {
+	t.Helper()
+	m, x := testMatrices(32, 1)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := a.MatMul(m, x); err != nil {
+			t.Fatalf("MatMul: %v", err)
+		}
+		if st := a.HealthStats(); pred(st) {
+			return st
+		}
+	}
+	st := a.HealthStats()
+	t.Fatalf("condition not reached before deadline; stats: %+v", st)
+	return st
+}
+
+func TestHealthQuarantineAndRecoveryPoolMode(t *testing.T) {
+	a, err := NewAccelerator(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnableHealthMonitor(healthTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InjectFaults(0, photonic.FaultConfig{DriftSigma: 0.03, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := driveUntil(t, a, func(st HealthStats) bool { return st.Quarantines >= 1 })
+	if !st.Degraded() && st.Recalibrations == 0 {
+		t.Fatalf("quarantined but neither degraded nor recovered: %+v", st)
+	}
+
+	// Background recalibration must eventually return the partition to
+	// service (drift keeps accumulating, so it may be quarantined again
+	// later — a lifetime recalibration counter is the stable signal).
+	st = driveUntil(t, a, func(st HealthStats) bool { return st.Recalibrations >= 1 })
+	if st.Probes == 0 || st.Partitions[0].Probes == 0 {
+		t.Fatalf("no probes recorded: %+v", st)
+	}
+	if !st.Partitions[0].Faulty {
+		t.Fatal("partition 0 not marked faulty")
+	}
+	for i := 1; i < len(st.Partitions); i++ {
+		if st.Partitions[i].Probes != 0 || st.Partitions[i].State != HealthHealthy {
+			t.Fatalf("pristine partition %d was probed or left healthy state: %+v", i, st.Partitions[i])
+		}
+	}
+}
+
+func TestHealthShrunkenPoolBitwiseIdentical(t *testing.T) {
+	faulty, err := NewAccelerator(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.EnableHealthMonitor(healthTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.InjectFaults(0, photonic.FaultConfig{DriftSigma: 0.05, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Drive until the faulted partition is out of service and not yet
+	// recovered, so the comparison call below runs on healthy hardware only.
+	driveUntil(t, faulty, func(st HealthStats) bool {
+		return st.Partitions[0].State == HealthQuarantined || st.Partitions[0].State == HealthRecalibrating
+	})
+
+	pristine, err := NewAccelerator(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, x := testMatrices(24, 9)
+	want, err := pristine.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulty.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("shrunken-pool result differs at (%d,%d): %g vs %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestHealthMinHealthyFloor(t *testing.T) {
+	a, err := NewAccelerator(16, 8) // 2 partitions
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := healthTestConfig()
+	cfg.MaxRecalAttempts = 1
+	cfg.RecalPasses = 1 // recovery usually fails, pressuring the floor
+	if err := a.EnableHealthMonitor(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := a.InjectFaults(i, photonic.FaultConfig{DriftSigma: 0.08, Seed: int64(20 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, x := testMatrices(32, 2)
+	for round := 0; round < 40; round++ {
+		if _, err := a.MatMul(m, x); err != nil {
+			t.Fatalf("MatMul with floor active: %v", err)
+		}
+		if st := a.HealthStats(); st.InService < 1 {
+			t.Fatalf("InService dropped below MinHealthy: %+v", st)
+		}
+	}
+	st := a.HealthStats()
+	if st.Quarantines == 0 {
+		t.Fatalf("no quarantine despite heavy drift on both partitions: %+v", st)
+	}
+}
+
+func TestHealthFabricModeQuarantine(t *testing.T) {
+	a, err := NewAccelerator(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, err := fabric.New(fabric.Config{Partitions: a.NumPartitions(), Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arb.Close()
+	if err := a.AttachFabric(arb); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnableHealthMonitor(healthTestConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InjectFaults(1, photonic.FaultConfig{DriftSigma: 0.03, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	driveUntil(t, a, func(st HealthStats) bool { return st.Quarantines >= 1 })
+	if arb.Stats().QuarantinesTotal == 0 {
+		t.Fatal("arbiter never saw a quarantine")
+	}
+	// Recovery lifts the quarantine at the arbiter.
+	driveUntil(t, a, func(st HealthStats) bool { return st.Recalibrations >= 1 })
+	deadline := time.Now().Add(5 * time.Second)
+	for arb.Quarantined(1) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fs := arb.Stats()
+	if fs.QuarantinesTotal == 0 {
+		t.Fatalf("arbiter quarantine counters empty: %+v", fs)
+	}
+}
+
+func TestHealthGuards(t *testing.T) {
+	a, err := NewAccelerator(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := a.HealthStats(); st.Enabled {
+		t.Fatal("health reported enabled before EnableHealthMonitor")
+	}
+	if err := a.EnableHealthMonitor(HealthConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.EnableHealthMonitor(HealthConfig{}); err == nil {
+		t.Fatal("double EnableHealthMonitor accepted")
+	}
+	if err := a.InjectFaults(99, photonic.FaultConfig{}); err == nil {
+		t.Fatal("out-of-range InjectFaults accepted")
+	}
+	perm := make([]int, a.Ports())
+	for i := range perm {
+		perm[i] = (i + 1) % len(perm)
+	}
+	if _, err := a.RoutePermutation(perm); err == nil {
+		t.Fatal("RoutePermutation allowed with health monitor enabled")
+	}
+}

@@ -21,6 +21,8 @@ type Arbiter struct {
 
 	free      []bool
 	freeCount int
+	quar      []bool
+	quarCount int
 	leases    map[int64]*Lease
 	nextID    int64
 
@@ -42,6 +44,7 @@ type counters struct {
 	sloViolations     int64
 	lastReclaimCycles int64
 	maxReclaimCycles  int64
+	quarantines       int64
 }
 
 // Lease is a grant of exclusive compute use of one fabric partition. It
@@ -77,6 +80,7 @@ func New(cfg Config) (*Arbiter, error) {
 		mode:      ModeIdle,
 		free:      make([]bool, cfg.Partitions),
 		freeCount: cfg.Partitions,
+		quar:      make([]bool, cfg.Partitions),
 		leases:    make(map[int64]*Lease),
 		det:       newIdleDetector(cfg),
 	}
@@ -136,17 +140,29 @@ func (a *Arbiter) Acquire(ctx context.Context) (*Lease, error) {
 			return nil, err
 		}
 		if (a.mode == ModeIdle || a.mode == ModeCompute) &&
-			a.freeCount > 0 && len(a.leases) < a.cfg.MaxComputeLeases {
+			a.grantableLocked() > 0 && len(a.leases) < a.cfg.MaxComputeLeases {
 			return a.grantLocked(), nil
 		}
 		a.cond.Wait()
 	}
 }
 
+// grantableLocked counts partitions that are both free and not
+// quarantined by the health layer.
+func (a *Arbiter) grantableLocked() int {
+	n := 0
+	for i, f := range a.free {
+		if f && !a.quar[i] {
+			n++
+		}
+	}
+	return n
+}
+
 func (a *Arbiter) grantLocked() *Lease {
 	part := -1
 	for i, f := range a.free {
-		if f {
+		if f && !a.quar[i] {
 			part = i
 			break
 		}
@@ -175,6 +191,65 @@ func (a *Arbiter) setModeLocked(m Mode) {
 	}
 	a.mode = m
 	a.c.modeTransitions++
+	// Wake Acquire callers and Await watchers on every mode edge.
+	a.cond.Broadcast()
+}
+
+// SetQuarantine marks a partition unfit (or fit again) for compute. A
+// quarantined partition is never granted to new leases; an outstanding
+// lease on it stays valid until released. The health layer calls this when
+// calibration probes fail and again after successful recalibration.
+func (a *Arbiter) SetQuarantine(part int, on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if part < 0 || part >= a.cfg.Partitions || a.quar[part] == on {
+		return
+	}
+	a.quar[part] = on
+	if on {
+		a.quarCount++
+		a.c.quarantines++
+	} else {
+		a.quarCount--
+	}
+	a.cond.Broadcast()
+}
+
+// Quarantined reports whether the partition is currently quarantined.
+func (a *Arbiter) Quarantined(part int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return part >= 0 && part < a.cfg.Partitions && a.quar[part]
+}
+
+// Await blocks until pred holds for the arbitration mode, the arbiter is
+// closed (ErrClosed), or ctx is cancelled. It lets harnesses sleep on mode
+// edges instead of polling Mode in a spin loop.
+func (a *Arbiter) Await(ctx context.Context, pred func(Mode) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		a.mu.Lock()
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	})
+	defer stop()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if pred(a.mode) {
+			return nil
+		}
+		if a.closed {
+			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a.cond.Wait()
+	}
 }
 
 // Release returns the lease's partition to the arbiter. It is idempotent.

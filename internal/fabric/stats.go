@@ -8,10 +8,12 @@ type Stats struct {
 	Mode  Mode
 	Cycle int64
 	// Partitions is the arbitrated partition count; ActiveLeases and
-	// FreePartitions its current split.
-	Partitions     int
-	ActiveLeases   int
-	FreePartitions int
+	// FreePartitions its current split. QuarantinedPartitions counts
+	// partitions the health layer has marked unfit for compute grants.
+	Partitions            int
+	ActiveLeases          int
+	FreePartitions        int
+	QuarantinedPartitions int
 	// ModeTransitions counts state-machine edges; LeasesGranted all
 	// grants; LeasesPreempted leases that received a preemption signal;
 	// LeasesReclaimed preempted leases whose partition has been returned.
@@ -31,6 +33,9 @@ type Stats struct {
 	ReclaimSLOViolations int64
 	LastReclaimCycles    int64
 	MaxReclaimCycles     int64
+	// QuarantinesTotal counts quarantine transitions over the arbiter's
+	// lifetime (SetQuarantine on-edges).
+	QuarantinesTotal int64
 	// InjectionRate is the idle detector's current windowed rate
 	// (packets/node/cycle).
 	InjectionRate float64
@@ -42,20 +47,22 @@ func (a *Arbiter) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return Stats{
-		Mode:                 a.mode,
-		Cycle:                a.cycle,
-		Partitions:           a.cfg.Partitions,
-		ActiveLeases:         len(a.leases),
-		FreePartitions:       a.freeCount,
-		ModeTransitions:      a.c.modeTransitions,
-		LeasesGranted:        a.c.leasesGranted,
-		LeasesPreempted:      a.c.leasesPreempted,
-		LeasesReclaimed:      a.c.leasesReclaimed,
-		PreemptedItems:       a.c.preemptedItems,
-		ComputeCyclesStolen:  a.c.stolenCycles,
-		ReclaimSLOViolations: a.c.sloViolations,
-		LastReclaimCycles:    a.c.lastReclaimCycles,
-		MaxReclaimCycles:     a.c.maxReclaimCycles,
-		InjectionRate:        a.det.rate(),
+		Mode:                  a.mode,
+		Cycle:                 a.cycle,
+		Partitions:            a.cfg.Partitions,
+		ActiveLeases:          len(a.leases),
+		FreePartitions:        a.freeCount,
+		QuarantinedPartitions: a.quarCount,
+		ModeTransitions:       a.c.modeTransitions,
+		LeasesGranted:         a.c.leasesGranted,
+		LeasesPreempted:       a.c.leasesPreempted,
+		LeasesReclaimed:       a.c.leasesReclaimed,
+		PreemptedItems:        a.c.preemptedItems,
+		ComputeCyclesStolen:   a.c.stolenCycles,
+		ReclaimSLOViolations:  a.c.sloViolations,
+		LastReclaimCycles:     a.c.lastReclaimCycles,
+		MaxReclaimCycles:      a.c.maxReclaimCycles,
+		QuarantinesTotal:      a.c.quarantines,
+		InjectionRate:         a.det.rate(),
 	}
 }

@@ -225,12 +225,13 @@ func Run(o Options) (*Result, error) {
 			stepped = true
 			if arb != nil && o.Compute {
 				// Hold the step until the pump actually holds the fabric, so
-				// the idle→busy transition measures a real reclamation.
-				deadline := time.Now().Add(5 * time.Second)
-				for arb.Mode() != fabric.ModeCompute && time.Now().Before(deadline) {
-					runtime.Gosched()
-					time.Sleep(100 * time.Microsecond)
-				}
+				// the idle→busy transition measures a real reclamation. The
+				// arbiter broadcasts on every mode edge, so park on it rather
+				// than polling; the timeout only bounds a pump that never
+				// acquires.
+				waitCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_ = arb.Await(waitCtx, func(m fabric.Mode) bool { return m == fabric.ModeCompute })
+				cancel()
 			}
 		}
 		if stepped && stepAt > 0 && arb != nil && o.Compute && stepRetries < 20 &&
@@ -283,9 +284,14 @@ func Run(o Options) (*Result, error) {
 				// Throttle simulated time while reclaiming so the pump gets
 				// real CPU time to notice preemption within a handful of
 				// simulated cycles — without this, wall-clock item latency
-				// would be charged at the free-running simulation rate.
-				runtime.Gosched()
-				time.Sleep(20 * time.Microsecond)
+				// would be charged at the free-running simulation rate. The
+				// release of the last preempted lease broadcasts, so parking
+				// on the arbiter resumes the instant reclamation completes;
+				// the 20µs bound keeps cycles advancing (and reclaim latency
+				// measured in simulated cycles) while the pump is still slow.
+				waitCtx, cancel := context.WithTimeout(context.Background(), 20*time.Microsecond)
+				_ = arb.Await(waitCtx, func(m fabric.Mode) bool { return m != fabric.ModeReclaiming })
+				cancel()
 			}
 		}
 		if cycle%int64(o.SliceCycles) == 0 {

@@ -1,0 +1,281 @@
+package photonic
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"flumen/internal/mat"
+)
+
+// Runtime fault injection: where imperfect.go and perturb.go model static,
+// offline imperfections, this file models a mesh that degrades while it
+// serves. Three mechanisms, matching the failure taxonomy of the photonic
+// accelerator reliability literature (LuxIA; Al-Qadasi et al.):
+//
+//   - random-walk phase drift: every tunable phase wanders by N(0, σ²)
+//     radians per step (thermal crosstalk, aging) — compensable by
+//     re-tuning;
+//   - stuck phase shifters: the actuator no longer responds, so the device
+//     holds a fixed random phase pair regardless of programming — not
+//     compensable locally, partially compensable by its neighbours;
+//   - dead MZIs: actuation failed entirely and the device sits at its bar
+//     rest state — again only neighbour-compensable.
+//
+// A FaultInjector is attached per compute partition. The engine routes
+// every applied BlockProgram through Corrupt, so compute results degrade
+// exactly as the injected device state dictates, and the health monitor's
+// calibration probes observe the same corrupted lattice the workload does.
+// Recalibrate is the runtime counterpart of InSituOptimize (imperfect.go):
+// it tunes per-device correction phases by the same exact sinusoid
+// coordinate descent, nulling accumulated drift and partially compensating
+// stuck/dead devices.
+
+// FaultConfig parameterizes a partition's runtime fault injector.
+type FaultConfig struct {
+	// DriftSigma is the per-step random-walk standard deviation, in
+	// radians, applied to every live device's θ and φ.
+	DriftSigma float64
+	// StuckFrac is the fraction of lattice devices whose phase shifters
+	// freeze at a random setting and ignore programming.
+	StuckFrac float64
+	// DeadFrac is the fraction of lattice devices that fail to the bar
+	// rest state entirely.
+	DeadFrac float64
+	// Seed makes the fault realization and drift walk reproducible.
+	Seed int64
+}
+
+// deviceFault is one lattice device's runtime state: accumulated drift,
+// calibration corrections, and its static failure mode.
+type deviceFault struct {
+	driftTheta, driftPhi float64
+	corrTheta, corrPhi   float64
+	stuck                bool
+	stuckTheta, stuckPhi float64
+	dead                 bool
+}
+
+// FaultInjector carries the time-evolving fault state of one compute
+// partition's SVD lattice (both the V* and U MZI lattices of a
+// size-input BlockProgram). All methods are safe for concurrent use.
+type FaultInjector struct {
+	mu    sync.Mutex
+	size  int
+	cfg   FaultConfig
+	rng   *rand.Rand
+	v, u  map[[2]int]*deviceFault
+	steps int64
+}
+
+// latticeSlots enumerates the MZI slot keys {column, topWire} of a
+// size-input lattice in the physical application order of compileOps.
+func latticeSlots(size int) [][2]int {
+	var slots [][2]int
+	for c := 0; c < size; c++ {
+		for w := c % 2; w <= size-2; w += 2 {
+			slots = append(slots, [2]int{c, w})
+		}
+	}
+	return slots
+}
+
+// NewFaultInjector builds the fault state for a size-input partition:
+// stuck and dead devices are drawn once (static failures), drift starts at
+// zero and accumulates through Step.
+func NewFaultInjector(size int, cfg FaultConfig) *FaultInjector {
+	fi := &FaultInjector{
+		size: size,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		v:    make(map[[2]int]*deviceFault),
+		u:    make(map[[2]int]*deviceFault),
+	}
+	for _, lattice := range []map[[2]int]*deviceFault{fi.v, fi.u} {
+		for _, s := range latticeSlots(size) {
+			d := &deviceFault{}
+			switch p := fi.rng.Float64(); {
+			case p < cfg.StuckFrac:
+				d.stuck = true
+				d.stuckTheta = fi.rng.Float64() * math.Pi
+				d.stuckPhi = fi.rng.Float64() * 2 * math.Pi
+			case p < cfg.StuckFrac+cfg.DeadFrac:
+				d.dead = true
+			}
+			lattice[s] = d
+		}
+	}
+	return fi
+}
+
+// Size returns the partition dimension the injector targets.
+func (fi *FaultInjector) Size() int { return fi.size }
+
+// Steps returns how many drift steps have elapsed.
+func (fi *FaultInjector) Steps() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.steps
+}
+
+// Counts reports the number of stuck and dead devices across both
+// lattices.
+func (fi *FaultInjector) Counts() (stuck, dead int) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for _, lattice := range []map[[2]int]*deviceFault{fi.v, fi.u} {
+		for _, d := range lattice {
+			if d.stuck {
+				stuck++
+			}
+			if d.dead {
+				dead++
+			}
+		}
+	}
+	return stuck, dead
+}
+
+// SetDriftSigma changes the per-step drift rate at runtime: 0 freezes the
+// walk (a transient fault source abating), leaving accumulated drift and
+// corrections in place; a larger value models worsening conditions.
+func (fi *FaultInjector) SetDriftSigma(sigma float64) {
+	fi.mu.Lock()
+	fi.cfg.DriftSigma = sigma
+	fi.mu.Unlock()
+}
+
+// Step advances the drift random walk by n steps: every live device's θ
+// and φ each gain N(0, n·σ²) radians (the exact n-step walk in one draw).
+func (fi *FaultInjector) Step(n int) {
+	if n <= 0 {
+		return
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.steps += int64(n)
+	if fi.cfg.DriftSigma == 0 {
+		return
+	}
+	s := fi.cfg.DriftSigma * math.Sqrt(float64(n))
+	for _, lattice := range []map[[2]int]*deviceFault{fi.v, fi.u} {
+		for _, slot := range latticeSlots(fi.size) {
+			d := lattice[slot]
+			if d.stuck || d.dead {
+				continue
+			}
+			d.driftTheta += fi.rng.NormFloat64() * s
+			d.driftPhi += fi.rng.NormFloat64() * s
+		}
+	}
+}
+
+// faultedTransfer returns the physical 2×2 transfer the faulty device
+// realizes when programmed with op.
+func (d *deviceFault) faultedTransfer(op MZI) [2][2]complex128 {
+	switch {
+	case d.dead:
+		return Bar().Transfer()
+	case d.stuck:
+		return MZI{Theta: d.stuckTheta, Phi: d.stuckPhi}.Transfer()
+	default:
+		return MZI{
+			Theta: op.Theta + d.driftTheta + d.corrTheta,
+			Phi:   op.Phi + d.driftPhi + d.corrPhi,
+		}.Transfer()
+	}
+}
+
+// corruptOps rebuilds a lattice's op list with the current fault state
+// applied, in the same physical order compileOps uses.
+func corruptOps(slots map[[2]int]MZI, faults map[[2]int]*deviceFault, size int) []progOp {
+	ops := make([]progOp, 0, len(slots))
+	for _, s := range latticeSlots(size) {
+		op, ok := slots[s]
+		if !ok {
+			continue
+		}
+		ops = append(ops, progOp{w: s[1], t: faults[s].faultedTransfer(op)})
+	}
+	return ops
+}
+
+// corruptLocked is Corrupt with fi.mu already held.
+func (fi *FaultInjector) corruptLocked(bp *BlockProgram) *BlockProgram {
+	return &BlockProgram{
+		Size:   bp.Size,
+		Scale:  bp.Scale,
+		Sigma:  bp.Sigma,
+		vSlots: bp.vSlots,
+		uSlots: bp.uSlots,
+		alpha:  bp.alpha,
+		du:     bp.du,
+		vOps:   corruptOps(bp.vSlots, fi.v, fi.size),
+		uOps:   corruptOps(bp.uSlots, fi.u, fi.size),
+	}
+}
+
+// Corrupt returns a copy of bp whose MZI transfers reflect the injector's
+// current device state — the program the degraded hardware actually
+// realizes when bp is applied. bp itself is never mutated (it may be a
+// shared cache entry). With no faults injected the copy is numerically
+// identical to bp.
+func (fi *FaultInjector) Corrupt(bp *BlockProgram) *BlockProgram {
+	if bp.Size != fi.size {
+		panic("photonic: FaultInjector size mismatch")
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.corruptLocked(bp)
+}
+
+// MatrixError returns the maximum absolute element difference between the
+// lattice bp physically realizes under the current fault state and the
+// ideal compiled lattice, in the normalized (unit-spectral-norm) domain —
+// the quantity a calibration probe measures.
+func (fi *FaultInjector) MatrixError(bp *BlockProgram) float64 {
+	fi.mu.Lock()
+	got := fi.corruptLocked(bp).Matrix()
+	fi.mu.Unlock()
+	return mat.MaxAbsDiff(got, bp.Matrix())
+}
+
+// Recalibrate tunes the correction phase pair of every responsive device
+// by exact sinusoid coordinate descent (the same measurement-in-the-loop
+// minimization as Mesh.InSituOptimize) against ref's ideal lattice,
+// nulling accumulated drift and partially compensating stuck and dead
+// neighbours. It returns the residual Frobenius error of the recalibrated
+// lattice. Drift continues to accumulate after recalibration; corrections
+// persist until the next Recalibrate.
+func (fi *FaultInjector) Recalibrate(ref *BlockProgram, passes int) float64 {
+	if ref.Size != fi.size {
+		panic("photonic: FaultInjector size mismatch")
+	}
+	target := ref.Matrix()
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	err2 := func() float64 {
+		d := mat.Sub(fi.corruptLocked(ref).Matrix(), target).FrobeniusNorm()
+		return d * d
+	}
+	inf := math.Inf(1)
+	for pass := 0; pass < passes; pass++ {
+		for _, lat := range []struct {
+			slots  map[[2]int]MZI
+			faults map[[2]int]*deviceFault
+		}{{ref.vSlots, fi.v}, {ref.uSlots, fi.u}} {
+			for _, s := range latticeSlots(fi.size) {
+				if _, ok := lat.slots[s]; !ok {
+					continue
+				}
+				d := lat.faults[s]
+				if d.stuck || d.dead {
+					continue
+				}
+				minimizeSinusoid(&d.corrTheta, -inf, inf, err2)
+				minimizeSinusoid(&d.corrPhi, -inf, inf, err2)
+			}
+		}
+	}
+	return mat.Sub(fi.corruptLocked(ref).Matrix(), target).FrobeniusNorm()
+}

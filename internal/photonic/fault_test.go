@@ -1,0 +1,131 @@
+package photonic
+
+import (
+	"math/rand"
+	"testing"
+
+	"flumen/internal/mat"
+)
+
+func compileTestProgram(t *testing.T, n int, seed int64) *BlockProgram {
+	t.Helper()
+	bp, err := CompileBlockScaled(mat.RandomReal(n, n, rand.New(rand.NewSource(seed))))
+	if err != nil {
+		t.Fatalf("CompileBlockScaled: %v", err)
+	}
+	return bp
+}
+
+func TestFaultInjectorNoFaultsIsIdentity(t *testing.T) {
+	bp := compileTestProgram(t, 8, 1)
+	fi := NewFaultInjector(8, FaultConfig{Seed: 42})
+	fi.Step(100)
+	if d := mat.MaxAbsDiff(fi.Corrupt(bp).Matrix(), bp.Matrix()); d != 0 {
+		t.Fatalf("fault-free Corrupt changed the lattice by %g", d)
+	}
+	if e := fi.MatrixError(bp); e != 0 {
+		t.Fatalf("fault-free MatrixError = %g, want 0", e)
+	}
+}
+
+func TestFaultInjectorCorruptDoesNotMutateProgram(t *testing.T) {
+	bp := compileTestProgram(t, 8, 2)
+	before := bp.Matrix()
+	fi := NewFaultInjector(8, FaultConfig{DriftSigma: 0.1, Seed: 7})
+	fi.Step(50)
+	if e := fi.MatrixError(bp); e == 0 {
+		t.Fatal("drifted injector reported zero error")
+	}
+	if d := mat.MaxAbsDiff(bp.Matrix(), before); d != 0 {
+		t.Fatalf("Corrupt mutated the shared program by %g", d)
+	}
+}
+
+func TestFaultInjectorDriftGrows(t *testing.T) {
+	bp := compileTestProgram(t, 8, 3)
+	fi := NewFaultInjector(8, FaultConfig{DriftSigma: 0.005, Seed: 11})
+	fi.Step(10)
+	early := fi.MatrixError(bp)
+	fi.Step(2000)
+	late := fi.MatrixError(bp)
+	if late <= early {
+		t.Fatalf("drift error did not grow: early %g, late %g", early, late)
+	}
+	if fi.Steps() != 2010 {
+		t.Fatalf("Steps = %d, want 2010", fi.Steps())
+	}
+}
+
+func TestFaultInjectorStuckAndDead(t *testing.T) {
+	bp := compileTestProgram(t, 8, 4)
+	fi := NewFaultInjector(8, FaultConfig{StuckFrac: 0.2, DeadFrac: 0.2, Seed: 5})
+	stuck, dead := fi.Counts()
+	if stuck == 0 || dead == 0 {
+		t.Fatalf("expected both stuck and dead devices at 20%% rates, got %d/%d", stuck, dead)
+	}
+	// Static failures corrupt the lattice even with zero drift and no steps.
+	if e := fi.MatrixError(bp); e == 0 {
+		t.Fatal("stuck/dead devices produced zero matrix error")
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	bp := compileTestProgram(t, 8, 6)
+	cfg := FaultConfig{DriftSigma: 0.02, StuckFrac: 0.05, Seed: 99}
+	a, b := NewFaultInjector(8, cfg), NewFaultInjector(8, cfg)
+	a.Step(100)
+	b.Step(100)
+	if d := mat.MaxAbsDiff(a.Corrupt(bp).Matrix(), b.Corrupt(bp).Matrix()); d != 0 {
+		t.Fatalf("same-seed injectors diverged by %g", d)
+	}
+}
+
+func TestFaultInjectorRecalibrateNullsDrift(t *testing.T) {
+	bp := compileTestProgram(t, 8, 7)
+	fi := NewFaultInjector(8, FaultConfig{DriftSigma: 0.01, Seed: 13})
+	fi.Step(60)
+	before := fi.MatrixError(bp)
+	if before == 0 {
+		t.Fatal("no drift accumulated")
+	}
+	// Coordinate descent on coupled phases converges geometrically, not in
+	// one shot; at quarantine-level drift a few sweeps recover most of it.
+	res := fi.Recalibrate(bp, 8)
+	after := fi.MatrixError(bp)
+	if after > before/4 || after > 0.02 {
+		t.Fatalf("recalibration left %g of %g pre-recal error", after, before)
+	}
+	if res > 0.1 {
+		t.Fatalf("residual Frobenius error %g after recalibrating pure drift", res)
+	}
+	// Drift keeps accumulating on top of the corrections afterwards.
+	fi.Step(500)
+	if e := fi.MatrixError(bp); e <= after {
+		t.Fatalf("post-recal drift did not accumulate: %g <= %g", e, after)
+	}
+}
+
+func TestFaultInjectorRecalibrateCompensatesDead(t *testing.T) {
+	bp := compileTestProgram(t, 8, 8)
+	fi := NewFaultInjector(8, FaultConfig{DeadFrac: 0.04, Seed: 21})
+	if _, dead := fi.Counts(); dead == 0 {
+		t.Skip("seed drew no dead devices")
+	}
+	before := fi.MatrixError(bp)
+	fi.Recalibrate(bp, 3)
+	after := fi.MatrixError(bp)
+	if after > before {
+		t.Fatalf("neighbour compensation made things worse: %g > %g", after, before)
+	}
+}
+
+func TestFaultInjectorSizeMismatchPanics(t *testing.T) {
+	bp := compileTestProgram(t, 8, 9)
+	fi := NewFaultInjector(4, FaultConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Corrupt with mismatched size did not panic")
+		}
+	}()
+	fi.Corrupt(bp)
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"flumen"
 	"flumen/internal/fabric"
 )
 
@@ -76,6 +77,13 @@ type Config struct {
 	// with 503 backpressure instead of queuing behind a stalled fabric.
 	// Partitions and Nodes are filled in from the accelerator geometry.
 	Fabric *fabric.Config
+
+	// Health, when non-nil, enables the accelerator's device-health monitor:
+	// partitions are probed between work items, quarantined when their error
+	// exceeds the threshold, recalibrated in the background, and returned to
+	// service. While any partition is out of service /healthz reports
+	// "degraded" (still 200) and /metrics exports flumend_health_* series.
+	Health *flumen.HealthConfig
 }
 
 // DefaultConfig returns production-leaning defaults on a 32-port fabric.

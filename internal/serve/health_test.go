@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"flumen"
+	"flumen/internal/photonic"
+)
+
+// healthServeConfig probes after every item and gives recalibration no real
+// budget, so a heavily faulted partition quarantines fast and stays out of
+// service — a stable "degraded" state the handlers can be asserted against.
+func healthServeConfig() Config {
+	cfg := testConfig()
+	cfg.Health = &flumen.HealthConfig{
+		ProbeInterval:    1,
+		QuarantineAfter:  1,
+		RecalPasses:      1,
+		MaxRecalAttempts: 1,
+	}
+	return cfg
+}
+
+func TestHealthzDegradedWhileQuarantined(t *testing.T) {
+	s, hs := newTestServer(t, healthServeConfig())
+	acc := s.Accelerator()
+	// Stuck and dead MZIs produce a large permanent error a single
+	// recalibration pass cannot null, so the quarantine sticks.
+	if err := acc.InjectFaults(0, photonic.FaultConfig{StuckFrac: 0.25, DeadFrac: 0.25, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	req := MatMulRequest{M: testMatrix(rng, 16, 16), X: testMatrix(rng, 16, 4)}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, body := postJSON(t, hs.URL+"/v1/matmul", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("matmul during quarantine: status %d, body %s", resp.StatusCode, body)
+		}
+		st := acc.HealthStats()
+		if st.Quarantines >= 1 && st.RecalFailures >= 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("partition never quarantined; stats %+v", st)
+		}
+	}
+
+	resp, body := getBody(t, hs.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while degraded: status %d (must stay 200)", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status %q with a partition quarantined, want degraded", h.Status)
+	}
+	if h.QuarantinedPartitions < 1 {
+		t.Fatalf("quarantined_partitions = %d, want >= 1", h.QuarantinedPartitions)
+	}
+	if h.HealthyPartitions+h.QuarantinedPartitions+h.RecalibratingPartitions > h.Partitions {
+		t.Fatalf("health breakdown exceeds partition count: %+v", h)
+	}
+
+	// The shrunken pool must keep serving.
+	if resp, body := postJSON(t, hs.URL+"/v1/matmul", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("matmul after quarantine: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestHealthMetricsExposition(t *testing.T) {
+	s, hs := newTestServer(t, healthServeConfig())
+	if err := s.Accelerator().InjectFaults(0, photonic.FaultConfig{StuckFrac: 0.25, DeadFrac: 0.25, Seed: 13}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	req := MatMulRequest{M: testMatrix(rng, 16, 16), X: testMatrix(rng, 16, 4)}
+	deadline := time.Now().Add(15 * time.Second)
+	for s.Accelerator().HealthStats().Quarantines == 0 {
+		if resp, _ := postJSON(t, hs.URL+"/v1/matmul", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("matmul: status %d", resp.StatusCode)
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("partition never quarantined")
+		}
+	}
+
+	_, body := getBody(t, hs.URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		`flumend_health_partitions{state="healthy"}`,
+		`flumend_health_partitions{state="quarantined"}`,
+		"flumend_health_in_service",
+		"flumend_health_probes_total",
+		"flumend_health_quarantines_total",
+		"flumend_health_recalibrations_total",
+		"flumend_health_recal_failures_total",
+		"flumend_health_probe_error_max",
+		"flumend_health_probe_threshold",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "flumend_health_quarantines_total 0\n") {
+		t.Error("quarantine happened but the counter reads zero")
+	}
+
+	// A server without the monitor must not emit health series, and its
+	// /healthz must stay plain "ok" with no breakdown fields.
+	_, hs2 := newTestServer(t, testConfig())
+	_, b2 := getBody(t, hs2.URL+"/metrics")
+	if strings.Contains(string(b2), "flumend_health_") {
+		t.Error("health-disabled server exposes health metrics")
+	}
+	_, hb := getBody(t, hs2.URL+"/healthz")
+	if !strings.Contains(string(hb), `"status":"ok"`) || strings.Contains(string(hb), "quarantined_partitions") {
+		t.Errorf("health-disabled /healthz body unexpected: %s", hb)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}

@@ -116,6 +116,8 @@ type accelSnapshot struct {
 
 	// Fabric is non-nil when a dynamic fabric arbiter is attached.
 	Fabric *fabricSnapshot
+	// Health is non-nil when the device-health monitor is enabled.
+	Health *healthSnapshot
 }
 
 // fabricSnapshot decouples fabric.Stats from the exposition the same way
@@ -135,6 +137,22 @@ type fabricSnapshot struct {
 	LastReclaim     int64
 	MaxReclaim      int64
 	InjectionRate   float64
+}
+
+// healthSnapshot decouples flumen.HealthStats from the exposition the same
+// way accelSnapshot decouples flumen.Stats.
+type healthSnapshot struct {
+	Healthy        int
+	Suspect        int
+	Quarantined    int
+	Recalibrating  int
+	InService      int
+	Probes         int64
+	Quarantines    int64
+	Recalibrations int64
+	RecalFailures  int64
+	MaxProbeError  float64
+	ProbeThreshold float64
 }
 
 // write renders the exposition. queueDepth/queueCap are sampled at scrape
@@ -261,6 +279,36 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, acc accelSnapshot
 		fmt.Fprintf(w, "# HELP flumend_fabric_injection_rate Windowed NoP injection rate (packets/node/cycle) seen by the idle detector.\n")
 		fmt.Fprintf(w, "# TYPE flumend_fabric_injection_rate gauge\n")
 		fmt.Fprintf(w, "flumend_fabric_injection_rate %g\n", f.InjectionRate)
+	}
+
+	if h := acc.Health; h != nil {
+		fmt.Fprintf(w, "# HELP flumend_health_partitions Partitions by health state.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_partitions gauge\n")
+		fmt.Fprintf(w, "flumend_health_partitions{state=\"healthy\"} %d\n", h.Healthy)
+		fmt.Fprintf(w, "flumend_health_partitions{state=\"suspect\"} %d\n", h.Suspect)
+		fmt.Fprintf(w, "flumend_health_partitions{state=\"quarantined\"} %d\n", h.Quarantined)
+		fmt.Fprintf(w, "flumend_health_partitions{state=\"recalibrating\"} %d\n", h.Recalibrating)
+		fmt.Fprintf(w, "# HELP flumend_health_in_service Partitions currently accepting work (healthy + suspect).\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_in_service gauge\n")
+		fmt.Fprintf(w, "flumend_health_in_service %d\n", h.InService)
+		fmt.Fprintf(w, "# HELP flumend_health_probes_total Calibration probes run between work items.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_probes_total counter\n")
+		fmt.Fprintf(w, "flumend_health_probes_total %d\n", h.Probes)
+		fmt.Fprintf(w, "# HELP flumend_health_quarantines_total Partitions pulled from service after repeated failing probes.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_quarantines_total counter\n")
+		fmt.Fprintf(w, "flumend_health_quarantines_total %d\n", h.Quarantines)
+		fmt.Fprintf(w, "# HELP flumend_health_recalibrations_total Quarantined partitions recalibrated and returned to service.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_recalibrations_total counter\n")
+		fmt.Fprintf(w, "flumend_health_recalibrations_total %d\n", h.Recalibrations)
+		fmt.Fprintf(w, "# HELP flumend_health_recal_failures_total Recalibration attempts abandoned after the retry budget.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_recal_failures_total counter\n")
+		fmt.Fprintf(w, "flumend_health_recal_failures_total %d\n", h.RecalFailures)
+		fmt.Fprintf(w, "# HELP flumend_health_probe_error_max Worst last-probe matrix error across partitions.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_probe_error_max gauge\n")
+		fmt.Fprintf(w, "flumend_health_probe_error_max %g\n", h.MaxProbeError)
+		fmt.Fprintf(w, "# HELP flumend_health_probe_threshold Probe error threshold that marks a partition suspect.\n")
+		fmt.Fprintf(w, "# TYPE flumend_health_probe_threshold gauge\n")
+		fmt.Fprintf(w, "flumend_health_probe_threshold %g\n", h.ProbeThreshold)
 	}
 
 	fmt.Fprintf(w, "# HELP flumend_request_duration_seconds Admission-to-completion latency per endpoint.\n")

@@ -65,7 +65,9 @@ type InferResponse struct {
 	ElapsedMS float64   `json:"elapsed_ms"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. Status is "ok", or "degraded" while
+// the health monitor holds partitions out of service (still HTTP 200: the
+// shrunken pool keeps serving).
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -73,6 +75,11 @@ type HealthResponse struct {
 	QueueCapacity int     `json:"queue_capacity"`
 	Partitions    int     `json:"partitions"`
 	Draining      bool    `json:"draining"`
+
+	// Health-monitor breakdown, present only when the monitor is enabled.
+	HealthyPartitions       int `json:"healthy_partitions,omitempty"`
+	QuarantinedPartitions   int `json:"quarantined_partitions,omitempty"`
+	RecalibratingPartitions int `json:"recalibrating_partitions,omitempty"`
 }
 
 type errorResponse struct {

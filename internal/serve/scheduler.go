@@ -69,6 +69,12 @@ type scheduler struct {
 	queue  chan *job
 	// exited closes when the executor has drained the queue and returned.
 	exited chan struct{}
+
+	// baseCtx is the scheduler-lifetime context: every engine call derives
+	// from it, so a drain that exhausts its budget can revoke in-flight work
+	// instead of wedging shutdown behind a stalled fabric.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 func newScheduler(cfg Config, acc *flumen.Accelerator, met *metrics) *scheduler {
@@ -79,8 +85,20 @@ func newScheduler(cfg Config, acc *flumen.Accelerator, met *metrics) *scheduler 
 		queue:  make(chan *job, cfg.QueueDepth),
 		exited: make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	go s.runLoop()
 	return s
+}
+
+// capacityErr reports whether the fabric can execute compute right now.
+// Checked at admission (backpressure instead of queuing behind a fabric the
+// job cannot lease) and again at dequeue (capacity may have been reclaimed
+// while the job waited).
+func (s *scheduler) capacityErr() error {
+	if fab := s.acc.Fabric(); fab != nil && !fab.ComputeAvailable() {
+		return errNoCapacity
+	}
+	return nil
 }
 
 // submit offers a job to the admission queue without blocking.
@@ -90,10 +108,8 @@ func (s *scheduler) submit(j *job) error {
 	if s.closed {
 		return errDraining
 	}
-	if fab := s.acc.Fabric(); fab != nil && !fab.ComputeAvailable() {
-		// Traffic owns the fabric: reclaimed capacity surfaces as explicit
-		// backpressure, not as requests stalled in the queue.
-		return errNoCapacity
+	if err := s.capacityErr(); err != nil {
+		return err
 	}
 	select {
 	case s.queue <- j:
@@ -125,8 +141,13 @@ func (s *scheduler) drain(ctx context.Context) error {
 	s.mu.Unlock()
 	select {
 	case <-s.exited:
+		s.baseCancel()
 		return nil
 	case <-ctx.Done():
+		// Drain budget exhausted: revoke the scheduler-lifetime context so
+		// in-flight engine calls abort and the executor can exit, instead of
+		// wedging shutdown behind a fabric that never frees up.
+		s.baseCancel()
 		return ctx.Err()
 	}
 }
@@ -152,6 +173,15 @@ func (s *scheduler) runLoop() {
 			j.done <- jobResult{err: err}
 			continue
 		}
+		if err := s.capacityErr(); err != nil {
+			// Capacity vanished while the job sat in the queue (the fabric
+			// was reclaimed for traffic after admission): shed it with the
+			// same backpressure error a fresh submit would get, rather than
+			// stalling the executor behind a fabric it cannot lease.
+			s.met.observeRejected()
+			j.done <- jobResult{err: err}
+			continue
+		}
 		if j.key == "" {
 			s.executeDirect(j)
 			continue
@@ -162,9 +192,20 @@ func (s *scheduler) runLoop() {
 	}
 }
 
+// jobCtx bounds an engine call by both the request's context and the
+// scheduler's lifetime, so an abandoned drain aborts work that the
+// client-supplied context alone would keep alive.
+func (s *scheduler) jobCtx(req context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(req)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
 func (s *scheduler) executeDirect(j *job) {
+	ctx, cancel := s.jobCtx(j.ctx)
+	defer cancel()
 	start := time.Now()
-	out, err := j.run(j.ctx)
+	out, err := j.run(ctx)
 	s.met.observeBatch(1, time.Since(start))
 	j.done <- jobResult{direct: out, batched: 1, err: err}
 }
@@ -186,13 +227,16 @@ func (s *scheduler) executeBatch(batch []*job) {
 	}
 
 	// A lone request keeps its own context so its deadline can abandon
-	// dispatch mid-call; a coalesced batch runs to completion once started
-	// (members already passed their admission-time liveness check, and one
-	// impatient tenant must not cancel its neighbours' work).
-	ctx := context.Background()
+	// dispatch mid-call; a coalesced batch must not let one impatient tenant
+	// cancel its neighbours' work, so members' contexts are ignored — but it
+	// still derives from the scheduler-lifetime context, so shutdown (unlike
+	// a tenant) can abort it.
+	ctx := s.baseCtx
+	cancel := context.CancelFunc(func() {})
 	if len(live) == 1 {
-		ctx = live[0].ctx
+		ctx, cancel = s.jobCtx(live[0].ctx)
 	}
+	defer cancel()
 
 	xAll := concatColumns(live)
 	start := time.Now()

@@ -65,6 +65,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.Health != nil {
+		if err := acc.EnableHealthMonitor(*cfg.Health); err != nil {
+			return nil, err
+		}
+	}
 
 	s := &Server{
 		cfg:    cfg,
@@ -161,14 +166,25 @@ func (s *Server) reqContext(r *http.Request, timeoutMS int64) (context.Context, 
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.met.start).Seconds(),
 		QueueDepth:    s.sched.depth(),
 		QueueCapacity: s.cfg.QueueDepth,
 		Partitions:    s.acc.NumPartitions(),
 		Draining:      s.sched.draining(),
-	})
+	}
+	if hs := s.acc.HealthStats(); hs.Enabled {
+		resp.HealthyPartitions = hs.Healthy
+		resp.QuarantinedPartitions = hs.Quarantined
+		resp.RecalibratingPartitions = hs.Recalibrating
+		if hs.Degraded() {
+			// Degraded, not dead: the shrunken pool keeps serving, so the
+			// probe stays 200 and the body says what is out of service.
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -202,6 +218,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			LastReclaim:     fs.LastReclaimCycles,
 			MaxReclaim:      fs.MaxReclaimCycles,
 			InjectionRate:   fs.InjectionRate,
+		}
+	}
+	if hs := st.Health; hs != nil && hs.Enabled {
+		snap.Health = &healthSnapshot{
+			Healthy:        hs.Healthy,
+			Suspect:        hs.Suspect,
+			Quarantined:    hs.Quarantined,
+			Recalibrating:  hs.Recalibrating,
+			InService:      hs.InService,
+			Probes:         hs.Probes,
+			Quarantines:    hs.Quarantines,
+			Recalibrations: hs.Recalibrations,
+			RecalFailures:  hs.RecalFailures,
+			MaxProbeError:  hs.MaxProbeError,
+			ProbeThreshold: hs.ProbeThreshold,
 		}
 	}
 	s.met.write(w, s.sched.depth(), s.cfg.QueueDepth, snap)
@@ -338,15 +369,20 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// retryAfterSecs is the Retry-After hint, rounded up to whole seconds.
+func (s *Server) retryAfterSecs() string {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // admit submits the job, answering 503 + Retry-After on backpressure.
 func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 	if err := s.sched.submit(j); err != nil {
 		s.met.observeRejected()
-		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 		msg := "admission queue full, retry later"
 		switch {
 		case errors.Is(err, errDraining):
@@ -374,6 +410,12 @@ func (s *Server) await(w http.ResponseWriter, ctx context.Context, j *job) (jobR
 	case res.err == nil:
 		s.met.observeRequest(j.endpoint, elapsed, false)
 		return res, true
+	case errors.Is(res.err, errNoCapacity):
+		// The fabric was reclaimed while the job waited in the queue and the
+		// executor shed it: same 503 backpressure as an admission-time shed.
+		s.met.observeRequest(j.endpoint, elapsed, true)
+		w.Header().Set("Retry-After", s.retryAfterSecs())
+		writeError(w, http.StatusServiceUnavailable, "fabric reclaimed for network traffic, retry later")
 	case errors.Is(res.err, context.DeadlineExceeded):
 		s.met.observeRequest(j.endpoint, elapsed, true)
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
