@@ -49,6 +49,14 @@ type Accelerator struct {
 	cache     *programCache
 	noiseOn   bool
 	noiseSeed int64
+	// compiled enables the batched compiled-kernel propagation path in the
+	// engine (default true; see SetCompiledKernels).
+	compiled bool
+
+	// Compiled-kernel counters (see KernelStats).
+	kernelCompiles  atomic.Int64
+	kernelReuses    atomic.Int64
+	kernelFallbacks atomic.Int64
 
 	// partIdx maps each partition back to its index so pool-mode checkouts
 	// know which health/fault record they hold; rebuilt with partitions.
@@ -87,6 +95,7 @@ func NewAccelerator(ports, blockSize int) (*Accelerator, error) {
 		blockSize: blockSize,
 		lambdas:   8,
 		cache:     newProgramCache(DefaultProgramCacheSize),
+		compiled:  true,
 	}
 	if err := a.buildPartitions(); err != nil {
 		return nil, err
@@ -211,6 +220,44 @@ func (a *Accelerator) SetProgramCacheSize(n int) {
 	a.mu.Unlock()
 }
 
+// SetCompiledKernels toggles the engine's batched compiled-kernel
+// propagation path (default on): with it enabled, every work item streams
+// all of its right-hand-side columns through the block program's compiled
+// SoA plan in one multi-RHS pass. With it disabled — or whenever a fault
+// injector is active on the executing partition, which corrupts the
+// program per item — columns run the interpreted per-vector lattice
+// instead. Both paths produce bitwise-identical results; the toggle exists
+// for benchmarking and as an escape hatch.
+func (a *Accelerator) SetCompiledKernels(on bool) {
+	a.mu.Lock()
+	a.compiled = on
+	a.mu.Unlock()
+}
+
+// CompiledKernels reports whether the batched compiled-kernel path is
+// enabled.
+func (a *Accelerator) CompiledKernels() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.compiled
+}
+
+// KernelStats reports compiled-kernel effectiveness.
+type KernelStats struct {
+	// PlanCompiles and PlanReuses count work items that compiled a new
+	// propagation plan vs reused one cached on the block program — reuse
+	// rides the weight-program cache, so a warm cache makes compilation
+	// disappear from the steady state.
+	PlanCompiles int64
+	PlanReuses   int64
+	// PlanEvictions counts compiled plans dropped along with their program
+	// by the weight-program cache's LRU.
+	PlanEvictions int64
+	// Fallbacks counts work items that ran the interpreted per-vector path
+	// because a fault injector was active on the executing partition.
+	Fallbacks int64
+}
+
 // ProgramCacheStats reports hit/miss/eviction counts and occupancy of the
 // weight-program cache (zero value when caching is disabled).
 func (a *Accelerator) ProgramCacheStats() CacheStats {
@@ -293,6 +340,9 @@ type Stats struct {
 	// Cache reports weight-program cache hit/miss/eviction counts (zero
 	// value when caching is disabled).
 	Cache CacheStats
+	// Kernel reports compiled-kernel plan compile/reuse/eviction and
+	// interpreter-fallback counts.
+	Kernel KernelStats
 	// Fabric is the attached dynamic-fabric arbiter's snapshot (nil when
 	// the accelerator owns its partitions outright).
 	Fabric *fabric.Stats
@@ -320,8 +370,14 @@ func (a *Accelerator) Stats() Stats {
 	a.mu.RUnlock()
 	s.EnergyPJ = a.meter.EnergyPJ()
 	s.Programs, s.Batches = a.meter.Counts()
+	s.Kernel = KernelStats{
+		PlanCompiles: a.kernelCompiles.Load(),
+		PlanReuses:   a.kernelReuses.Load(),
+		Fallbacks:    a.kernelFallbacks.Load(),
+	}
 	if c != nil {
 		s.Cache = c.stats()
+		s.Kernel.PlanEvictions = c.planEvictionCount()
 	}
 	if fab != nil {
 		fs := fab.Stats()

@@ -10,6 +10,7 @@
 //	flumen-bench -engine [-engineout file]
 //	flumen-bench -fabric [-fabricout file]
 //	flumen-bench -faults [-faultsout file] [-smoke]
+//	flumen-bench -kernel [-kernelout file] [-smoke]
 //
 // With no selector flags all three tables print. -scale shrinks the
 // workloads by the given linear factor for quick runs. -engine instead
@@ -24,7 +25,11 @@
 // accuracy and throughput for an unmonitored mesh against the device-health
 // monitor (quarantine + in-situ recalibration), plus a flumend serving
 // check, and writes BENCH_faults.json; -smoke shrinks the sweep and exits
-// non-zero if the acceptance thresholds are missed.
+// non-zero if the acceptance thresholds are missed. -kernel sweeps MatMul
+// sizes × right-hand-side counts comparing the interpreted per-vector
+// engine path against the compiled SoA kernels (cold and warm caches,
+// bitwise-checked at every point) and writes BENCH_kernel.json; with
+// -smoke it shrinks the sweep and enforces only the bitwise gate.
 package main
 
 import (
@@ -52,9 +57,18 @@ func main() {
 	fabricOut := flag.String("fabricout", "BENCH_fabric.json", "output file for -fabric results")
 	faultsBench := flag.Bool("faults", false, "benchmark the device-health monitor (fault sweep: accuracy, throughput, serving)")
 	faultsOut := flag.String("faultsout", "BENCH_faults.json", "output file for -faults results")
-	smoke := flag.Bool("smoke", false, "with -faults: shrink the sweep and fail on acceptance violations")
+	kernelBench := flag.Bool("kernel", false, "benchmark compiled propagation kernels vs the interpreted path")
+	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output file for -kernel results")
+	smoke := flag.Bool("smoke", false, "with -faults/-kernel: shrink the sweep (and for -faults fail on acceptance violations)")
 	flag.Parse()
 
+	if *kernelBench {
+		if err := runKernelBench(*kernelOut, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *engine {
 		if err := runEngineBench(*engineOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)

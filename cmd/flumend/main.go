@@ -9,6 +9,7 @@
 //	POST /v1/infer    {"model": "tiny-cnn", "volume": [[[...]]]}
 //	GET  /healthz
 //	GET  /metrics
+//	GET  /debug/pprof/   (only with -pprof)
 //
 // Concurrent matmul requests whose weight matrices are bit-identical are
 // coalesced into one partition-wide engine call, so a fleet of clients
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -52,7 +54,18 @@ func main() {
 	probeEvery := flag.Int("health-probe-interval", 0, "work items between calibration probes (0 = default)")
 	faultDrift := flag.Float64("fault-drift", 0, "demo: inject phase drift of this sigma per step into -fault-parts partitions (implies -health)")
 	faultParts := flag.Int("fault-parts", 1, "demo: number of partitions given injected faults (with -fault-drift)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
+	mutexFrac := flag.Int("mutex-profile-frac", 0, "runtime mutex-contention sampling rate for /debug/pprof/mutex (0 = off)")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime blocking-event sampling rate in ns for /debug/pprof/block (0 = off)")
 	flag.Parse()
+
+	cfg.EnablePprof = *pprofOn
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	if *fabricOn {
 		cfg.Fabric = &fabric.Config{ReclaimBudget: *fabricBudget}
@@ -82,6 +95,9 @@ func main() {
 	}
 	if cfg.Health != nil {
 		log.Printf("flumend: device-health monitor enabled (probe threshold %g)", srv.Accelerator().HealthStats().ProbeThreshold)
+	}
+	if *pprofOn {
+		log.Printf("flumend: pprof mounted at /debug/pprof/ (mutex fraction %d, block rate %d ns)", *mutexFrac, *blockRate)
 	}
 	if *faultDrift > 0 {
 		acc := srv.Accelerator()

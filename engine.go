@@ -49,6 +49,7 @@ type callConfig struct {
 	noiseSeed int64
 	noiseCall int64
 	lambdas   int
+	kernels   bool
 	cache     *programCache
 	// fab and parts are the fabric-arbitration snapshot: when fab is
 	// non-nil, partitions are granted by lease (parts indexed by the
@@ -85,10 +86,27 @@ type itemResult struct {
 type workerScratch struct {
 	seg []complex128
 	res []complex128
+	// batch and scales back the compiled multi-RHS path: one vector-major
+	// slab of nrhs×n states plus the per-column modulator scales, grown on
+	// demand and reused across the worker's items.
+	batch  []complex128
+	scales []float64
 }
 
 func newScratch(n int) *workerScratch {
 	return &workerScratch{seg: make([]complex128, n), res: make([]complex128, n)}
+}
+
+// ensureBatch returns batch and scale buffers sized for nrhs columns of
+// width n, growing the backing arrays only when an item needs more.
+func (s *workerScratch) ensureBatch(nrhs, n int) ([]complex128, []float64) {
+	if cap(s.batch) < nrhs*n {
+		s.batch = make([]complex128, nrhs*n)
+	}
+	if cap(s.scales) < nrhs {
+		s.scales = make([]float64, nrhs)
+	}
+	return s.batch[:nrhs*n], s.scales[:nrhs]
 }
 
 // matMul computes the padded product pm·px across the partition pool and
@@ -121,6 +139,7 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 		noiseOn:   a.noiseOn,
 		noiseSeed: a.noiseSeed,
 		lambdas:   a.lambdas,
+		kernels:   a.compiled,
 		cache:     a.cache,
 		fab:       a.fab,
 		parts:     a.partitions,
@@ -319,7 +338,12 @@ func preempted(l *fabric.Lease) bool {
 // computeItem executes one (block-row r, block-col c) work item on
 // partition p: fetch or compile the block's weight program, apply it to
 // the fabric, and stream the nrhs right-hand-side columns through the
-// compiled lattice in λ batches.
+// compiled lattice in λ batches. With compiled kernels enabled (the
+// default) and no fault injector on the partition, all columns propagate
+// through the program's SoA plan in one multi-RHS pass; otherwise each
+// column runs the interpreted per-vector path. Both paths execute the same
+// floating-point operations per column in the same order, so outputs are
+// bitwise-identical.
 func (a *Accelerator) computeItem(p *photonic.Partition, pidx int, s *workerScratch, pm, px *mat.Dense, r, c, nrhs int, cfg *callConfig, res *itemResult) error {
 	n := a.blockSize
 	blk := mat.Block(pm, n, r, c)
@@ -336,9 +360,12 @@ func (a *Accelerator) computeItem(p *photonic.Partition, pidx int, s *workerScra
 	// With a fault injector attached, the hardware realizes a corrupted
 	// version of the program it was asked for: drift advances one step per
 	// item and the propagation below runs through the corrupted lattice.
-	// The cached program itself is never touched.
+	// The cached program itself is never touched — and because the corrupted
+	// program is fresh each item, the compiled-plan path would recompile per
+	// item for nothing, so faults force the interpreted path.
 	run := bp
-	if inj := cfg.injector(pidx); inj != nil {
+	inj := cfg.injector(pidx)
+	if inj != nil {
 		inj.Step(1)
 		run = inj.Corrupt(bp)
 	}
@@ -351,9 +378,102 @@ func (a *Accelerator) computeItem(p *photonic.Partition, pidx int, s *workerScra
 		nm := optics.DefaultNoise(1, rand.New(src))
 		noise = &nm
 	}
-	scaleC := complex(bp.Scale, 0)
 
-	// Stream the right-hand-side columns in λ batches.
+	if cfg.kernels {
+		if inj == nil {
+			a.streamBatched(bp, s, px, c, nrhs, cfg, noise, res)
+			return nil
+		}
+		a.kernelFallbacks.Add(1)
+	}
+	a.streamInterp(run, bp, s, px, c, nrhs, cfg, noise, res)
+	return nil
+}
+
+// streamBatched streams every right-hand-side column through the program's
+// compiled plan in one pass: columns are gathered, scaled and DAC-quantized
+// into a vector-major slab, propagated together by ForwardBatch (which
+// loads each op's coefficients once per tile instead of once per column),
+// then post-processed per column in ascending order so noise draws, ADC
+// quantization and λ-batch accounting match the interpreted path exactly.
+func (a *Accelerator) streamBatched(bp *photonic.BlockProgram, s *workerScratch, px *mat.Dense, c, nrhs int, cfg *callConfig, noise *optics.NoiseModel, res *itemResult) {
+	n := a.blockSize
+	plan, compiledNow := bp.Plan()
+	if compiledNow {
+		a.kernelCompiles.Add(1)
+	} else {
+		a.kernelReuses.Add(1)
+	}
+	batch, scales := s.ensureBatch(nrhs, n)
+	for v := 0; v < nrhs; v++ {
+		seg := batch[v*n : (v+1)*n]
+		for i := 0; i < n; i++ {
+			seg[i] = px.At(c*n+i, v)
+		}
+		// Scale inputs into the modulator's full-scale range and quantize
+		// at the DAC.
+		scale := maxAbs(seg)
+		scales[v] = scale
+		if scale == 0 {
+			// The interpreted path never propagates a dark column; its slab
+			// still rides through the plan (vectors are isolated, so even
+			// non-finite values that zeroed the scale cannot leak into a
+			// neighbour), but the output is discarded below.
+			clear(seg)
+			continue
+		}
+		for i := range seg {
+			seg[i] /= complex(scale, 0)
+		}
+		cfg.dac.QuantizeComplexVec(seg)
+	}
+	plan.ForwardBatch(batch, nrhs)
+	scaleC := complex(bp.Scale, 0)
+	for v0 := 0; v0 < nrhs; v0 += cfg.lambdas {
+		v1 := min(v0+cfg.lambdas, nrhs)
+		for v := v0; v < v1; v++ {
+			if scales[v] == 0 {
+				continue
+			}
+			out := batch[v*n : (v+1)*n]
+			if bp.Scale != 1 {
+				for i := range out {
+					out[i] *= scaleC
+				}
+			}
+			if noise != nil {
+				for i := range out {
+					out[i] = complex(noise.Apply(real(out[i])), noise.Apply(imag(out[i])))
+				}
+			}
+			// ADC quantization of detected outputs, in the normalized
+			// (pre-spectral-rescale) domain.
+			if bp.Scale != 0 {
+				for i := range out {
+					out[i] /= scaleC
+				}
+				cfg.adc.QuantizeComplexVec(out)
+				for i := range out {
+					out[i] *= scaleC
+				}
+			}
+			dst := res.out[v*n : (v+1)*n]
+			sc := complex(scales[v], 0)
+			for i := 0; i < n; i++ {
+				dst[i] = out[i] * sc
+			}
+		}
+		res.batches++
+		res.vectorPJ += a.ep.FlumenVectorsPJ(n, v1-v0)
+	}
+}
+
+// streamInterp streams the right-hand-side columns one vector at a time
+// through the interpreted lattice of run (which may be a fault-corrupted
+// variant of bp); bp supplies the spectral scale of the intended program.
+func (a *Accelerator) streamInterp(run, bp *photonic.BlockProgram, s *workerScratch, px *mat.Dense, c, nrhs int, cfg *callConfig, noise *optics.NoiseModel, res *itemResult) {
+	n := a.blockSize
+	scaleC := complex(bp.Scale, 0)
 	for v0 := 0; v0 < nrhs; v0 += cfg.lambdas {
 		v1 := min(v0+cfg.lambdas, nrhs)
 		for v := v0; v < v1; v++ {
@@ -405,7 +525,6 @@ func (a *Accelerator) computeItem(p *photonic.Partition, pidx int, s *workerScra
 		res.batches++
 		res.vectorPJ += a.ep.FlumenVectorsPJ(n, v1-v0)
 	}
-	return nil
 }
 
 // programFor resolves the weight program for a padded block, through the
@@ -465,6 +584,10 @@ type programCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	// planEvictions counts evicted programs that carried a compiled
+	// propagation plan — each one is plan-compilation work the engine will
+	// redo if the weights return.
+	planEvictions int64
 }
 
 type cacheEntry struct {
@@ -504,9 +627,19 @@ func (pc *programCache) put(key string, bp *photonic.BlockProgram) {
 	for pc.ll.Len() > pc.capacity {
 		back := pc.ll.Back()
 		pc.ll.Remove(back)
-		delete(pc.index, back.Value.(*cacheEntry).key)
+		ent := back.Value.(*cacheEntry)
+		delete(pc.index, ent.key)
 		pc.evictions++
+		if ent.bp.HasCompiledPlan() {
+			pc.planEvictions++
+		}
 	}
+}
+
+func (pc *programCache) planEvictionCount() int64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.planEvictions
 }
 
 func (pc *programCache) stats() CacheStats {

@@ -1,0 +1,214 @@
+package flumen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flumen/internal/photonic"
+)
+
+// Engine-level equivalence tests for the compiled-kernel path: the batched
+// SoA propagation must reproduce the interpreted per-vector path bit for
+// bit, under clean inputs, non-finite inputs, noise, fault-forced fallback
+// and every worker count.
+
+func matsBitsEqual(t *testing.T, a, b [][]float64, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: row count %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s: row %d length %d vs %d", label, i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("%s: (%d,%d) = %v vs %v (bits differ)", label, i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func kernelAccel(t *testing.T, compiled bool) *Accelerator {
+	t.Helper()
+	a, err := NewAccelerator(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetCompiledKernels(compiled)
+	return a
+}
+
+func TestCompiledKernelsMatchInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	on := kernelAccel(t, true)
+	off := kernelAccel(t, false)
+	for _, dims := range [][3]int{{8, 8, 1}, {16, 16, 8}, {13, 9, 5}, {24, 17, 33}} {
+		m := randMatrix(rng, dims[0], dims[1])
+		x := randMatrix(rng, dims[1], dims[2])
+		got, err := on.MatMul(m, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := off.MatMul(m, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matsBitsEqual(t, got, want, "clean inputs")
+	}
+	stats := on.Stats()
+	if stats.Kernel.PlanCompiles == 0 {
+		t.Fatal("compiled path reported no plan compiles")
+	}
+	if s := off.Stats(); s.Kernel.PlanCompiles != 0 || s.Kernel.PlanReuses != 0 {
+		t.Fatalf("interpreted path touched plans: %+v", s.Kernel)
+	}
+}
+
+func TestCompiledKernelsNonFiniteInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	on := kernelAccel(t, true)
+	off := kernelAccel(t, false)
+	m := randMatrix(rng, 16, 16)
+	x := randMatrix(rng, 16, 6)
+	x[3][0] = math.NaN()
+	x[0][1] = math.Inf(1)
+	x[9][1] = math.Inf(-1)
+	x[2][2] = math.Copysign(0, -1)
+	for i := range x { // column 3: all-zero (dark column, skipped entirely)
+		x[i][3] = 0
+	}
+	for i := range x { // column 4: all-NaN (maxAbs sees 0, also skipped)
+		x[i][4] = math.NaN()
+	}
+	got, err := on.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := off.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matsBitsEqual(t, got, want, "non-finite inputs")
+}
+
+func TestCompiledKernelsSerialParallelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := kernelAccel(t, true)
+	m := randMatrix(rng, 24, 24)
+	x := randMatrix(rng, 24, 16)
+	a.SetWorkers(1)
+	serial, err := a.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetWorkers(a.NumPartitions())
+	parallel, err := a.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matsBitsEqual(t, serial, parallel, "serial vs parallel")
+}
+
+func TestCompiledKernelsNoiseBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	on := kernelAccel(t, true)
+	off := kernelAccel(t, false)
+	on.EnableNoise(77)
+	off.EnableNoise(77)
+	m := randMatrix(rng, 16, 16)
+	x := randMatrix(rng, 16, 12)
+	got, err := on.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := off.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matsBitsEqual(t, got, want, "noisy run")
+}
+
+// TestFaultInjectionForcesFallback pins the safety rule: with a fault
+// injector active the engine must run the interpreted path (the corrupted
+// program is fresh per item, so a compiled plan would be both wasted work
+// and a determinism hazard). Outputs must match an interpreted-only
+// accelerator with identical fault state, and the fallback counter must
+// record the bypass.
+func TestFaultInjectionForcesFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	on := kernelAccel(t, true)
+	off := kernelAccel(t, false)
+	for _, a := range []*Accelerator{on, off} {
+		a.SetWorkers(1) // one partition serves all items → same drift sequence
+		for i := 0; i < a.NumPartitions(); i++ {
+			if err := a.InjectFaults(i, photonic.FaultConfig{DriftSigma: 0.02, Seed: int64(50 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := randMatrix(rng, 16, 16)
+	x := randMatrix(rng, 16, 8)
+	got, err := on.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := off.MatMul(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matsBitsEqual(t, got, want, "faulty run")
+	s := on.Stats()
+	if s.Kernel.Fallbacks == 0 {
+		t.Fatal("fault injector active but no kernel fallbacks recorded")
+	}
+	if s.Kernel.PlanCompiles != 0 {
+		t.Fatalf("faulty items compiled plans: %+v", s.Kernel)
+	}
+}
+
+func TestKernelStatsPlanReuseAndEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := kernelAccel(t, true)
+	m := randMatrix(rng, 16, 16)
+	x := randMatrix(rng, 16, 4)
+	if _, err := a.MatMul(m, x); err != nil {
+		t.Fatal(err)
+	}
+	first := a.Stats().Kernel
+	if first.PlanCompiles == 0 {
+		t.Fatal("first call compiled no plans")
+	}
+	if _, err := a.MatMul(m, x); err != nil {
+		t.Fatal(err)
+	}
+	second := a.Stats().Kernel
+	if second.PlanCompiles != first.PlanCompiles {
+		t.Fatalf("warm weights recompiled plans: %d → %d", first.PlanCompiles, second.PlanCompiles)
+	}
+	if second.PlanReuses <= first.PlanReuses {
+		t.Fatal("warm weights did not reuse plans")
+	}
+
+	// A capacity-1 cache thrashes: each distinct block evicts the previous
+	// program together with its compiled plan.
+	a.SetProgramCacheSize(1)
+	if _, err := a.MatMul(m, x); err != nil {
+		t.Fatal(err)
+	}
+	if ev := a.Stats().Kernel.PlanEvictions; ev == 0 {
+		t.Fatal("thrashing cache evicted no compiled plans")
+	}
+}
+
+func TestSetCompiledKernelsToggle(t *testing.T) {
+	a := kernelAccel(t, true)
+	if !a.CompiledKernels() {
+		t.Fatal("compiled kernels should default to enabled")
+	}
+	a.SetCompiledKernels(false)
+	if a.CompiledKernels() {
+		t.Fatal("SetCompiledKernels(false) did not stick")
+	}
+}

@@ -217,6 +217,7 @@ func (m *Mesh) ProgramUnitary(u *mat.Dense) {
 	for i, p := range d {
 		m.outPhase[i] = p
 	}
+	m.invalidate()
 }
 
 // decomposeToSlots factors the unitary u with the Clements algorithm and
@@ -284,5 +285,6 @@ func (m *Mesh) placeOps(ops []placedOp, wireLo, c0, width int) error {
 		}
 		*m.cols[c][w] = z
 	}
+	m.invalidate()
 	return nil
 }

@@ -1,0 +1,412 @@
+package photonic
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"flumen/internal/mat"
+)
+
+// Bitwise-equivalence tests for the compiled propagation kernels: the plan
+// must reproduce the interpreted device-by-device path bit for bit — not
+// merely within tolerance — because the engine's serial≡parallel guarantee
+// is stated at the bit level and the compiled path slots underneath it.
+
+// bitsEqualVec reports whether two complex vectors are bitwise identical,
+// distinguishing -0 from +0 and comparing NaN payloads exactly.
+func bitsEqualVec(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func randVec(n int, rng *rand.Rand) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestMeshPlanBitwiseEqualsForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 5, 8, 12} {
+		m := NewMesh(n)
+		m.ProgramUnitary(mat.RandomUnitary(n, rng))
+		pl := m.CompilePlan()
+		for trial := 0; trial < 20; trial++ {
+			in := randVec(n, rng)
+			want := m.Forward(in)
+			got := make([]complex128, n)
+			copy(got, in)
+			pl.Forward(got)
+			if !bitsEqualVec(got, want) {
+				t.Fatalf("n=%d trial=%d: plan output differs from interpreted Forward", n, trial)
+			}
+		}
+	}
+}
+
+func TestMeshPlanBitwiseWithFabricationErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := NewMesh(8)
+	m.ProgramUnitary(mat.RandomUnitary(8, rng))
+	m.SetFabricationErrors(0.05, rng)
+	pl := m.CompilePlan()
+	for trial := 0; trial < 20; trial++ {
+		in := randVec(8, rng)
+		want := m.Forward(in)
+		got := make([]complex128, 8)
+		copy(got, in)
+		pl.Forward(got)
+		if !bitsEqualVec(got, want) {
+			t.Fatalf("trial=%d: imperfect-coupler plan differs from interpreted Forward", trial)
+		}
+	}
+}
+
+func TestMeshPlanInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := NewMesh(6)
+	m.ProgramUnitary(mat.RandomUnitary(6, rng))
+	in := randVec(6, rng)
+
+	check := func(stage string) {
+		t.Helper()
+		want := m.Forward(in)
+		got := make([]complex128, 6)
+		copy(got, in)
+		m.CompilePlan().Forward(got)
+		if !bitsEqualVec(got, want) {
+			t.Fatalf("%s: cached plan went stale", stage)
+		}
+	}
+	check("initial")
+	m.SetMZI(0, 0, MZI{Theta: 0.3, Phi: 1.2})
+	check("after SetMZI")
+	m.SetOutputPhase(1, cmplx.Exp(complex(0, 0.7)))
+	check("after SetOutputPhase")
+	m.PerturbPhases(0.01, rng)
+	check("after PerturbPhases")
+	m.SetFabricationErrors(0.02, rng)
+	check("after SetFabricationErrors")
+	m.InSituOptimize(mat.RandomUnitary(6, rng), 1)
+	check("after InSituOptimize")
+	m.RoutePermutation(rng.Perm(6))
+	check("after RoutePermutation")
+	m.SetAllBar()
+	check("after SetAllBar")
+}
+
+func TestFlumenPlanBitwiseEqualsInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := NewFlumenMesh(16)
+	// Program two partitions at different offsets plus comm routing on the
+	// remaining wires, so the plan covers mixed compute/traffic state.
+	top, err := f.NewPartition(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot, err := f.NewPartition(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.ProgramScaled(mat.RandomDense(4, 4, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bot.ProgramScaled(mat.RandomDense(6, 6, rng)); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		in := randVec(16, rng)
+		want := make([]complex128, 16)
+		copy(want, in)
+		f.forwardInterp(want)
+		got := f.Forward(in)
+		if !bitsEqualVec(got, want) {
+			t.Fatalf("trial=%d: fabric plan differs from device-by-device propagation", trial)
+		}
+	}
+}
+
+func TestFlumenPlanInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	f := NewFlumenMesh(8)
+	p, err := f.NewPartition(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randVec(8, rng)
+	check := func(stage string) {
+		t.Helper()
+		want := make([]complex128, 8)
+		copy(want, in)
+		f.forwardInterp(want)
+		got := f.Forward(in)
+		if !bitsEqualVec(got, want) {
+			t.Fatalf("%s: cached fabric plan went stale", stage)
+		}
+	}
+	check("initial")
+	if err := p.ProgramScaled(mat.RandomDense(4, 4, rng)); err != nil {
+		t.Fatal(err)
+	}
+	check("after ProgramScaled")
+	bp, err := CompileBlockScaled(mat.RandomDense(4, 4, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(bp); err != nil {
+		t.Fatal(err)
+	}
+	check("after Apply")
+	f.PerturbPhases(0.02, rng)
+	check("after PerturbPhases")
+	f.Reset()
+	check("after Reset")
+	f.RoutePermutation(rng.Perm(8))
+	check("after RoutePermutation")
+	f.EqualizeLoss(0.1) // attenuator writes only
+	check("after EqualizeLoss")
+}
+
+func TestBlockProgramPlanBitwiseEqualsForwardInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{2, 4, 8} {
+		bp, err := CompileBlockScaled(mat.RandomDense(n, n, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, compiledNow := bp.Plan()
+		if !compiledNow {
+			t.Fatalf("n=%d: first Plan call did not compile", n)
+		}
+		if _, again := bp.Plan(); again {
+			t.Fatalf("n=%d: second Plan call recompiled", n)
+		}
+		if !bp.HasCompiledPlan() {
+			t.Fatalf("n=%d: HasCompiledPlan false after Plan", n)
+		}
+		want := make([]complex128, n)
+		for trial := 0; trial < 20; trial++ {
+			in := randVec(n, rng)
+			bp.ForwardInto(want, in)
+			got := make([]complex128, n)
+			copy(got, in)
+			pl.Forward(got)
+			if !bitsEqualVec(got, want) {
+				t.Fatalf("n=%d trial=%d: program plan differs from ForwardInto", n, trial)
+			}
+		}
+	}
+}
+
+// TestForwardBatchBitwiseEqualsForward pins the tentpole property: a batch
+// of k right-hand sides propagates to bitwise the same outputs as k
+// individual propagations, across tile-boundary batch sizes.
+func TestForwardBatchBitwiseEqualsForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	bp, err := CompileBlockScaled(mat.RandomDense(8, 8, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := bp.Plan()
+	n := pl.N()
+	for _, k := range []int{1, 2, planTile - 1, planTile, planTile + 1, 3 * planTile} {
+		states := make([]complex128, k*n)
+		want := make([]complex128, k*n)
+		for v := 0; v < k; v++ {
+			in := randVec(n, rng)
+			copy(states[v*n:], in)
+			copy(want[v*n:], in)
+			pl.Forward(want[v*n : (v+1)*n])
+		}
+		pl.ForwardBatch(states, k)
+		if !bitsEqualVec(states, want) {
+			t.Fatalf("k=%d: batched propagation differs from per-vector", k)
+		}
+	}
+}
+
+// TestForwardBatchNonFiniteIsolation checks that NaN, Inf and -0 inputs
+// propagate identically batched and unbatched, and that a poisoned vector
+// cannot contaminate its batch neighbours.
+func TestForwardBatchNonFiniteIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	bp, err := CompileBlockScaled(mat.RandomDense(8, 8, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := bp.Plan()
+	n := pl.N()
+	k := planTile + 4
+	vecs := make([][]complex128, k)
+	for v := range vecs {
+		vecs[v] = randVec(n, rng)
+	}
+	nan := math.NaN()
+	vecs[0][0] = complex(nan, nan)                            // NaN mid-tile neighbourhood
+	vecs[1][3] = complex(math.Inf(1), math.Inf(-1))           // ±Inf
+	vecs[2][n-1] = complex(math.Copysign(0, -1), 0)           // -0
+	vecs[planTile][2] = complex(nan, 1)                       // NaN in second tile
+	vecs[k-1] = make([]complex128, n)                         // all-zero vector
+	vecs[k-2][0] = complex(math.MaxFloat64, -math.MaxFloat64) // overflow-prone
+
+	states := make([]complex128, k*n)
+	want := make([]complex128, k*n)
+	for v := 0; v < k; v++ {
+		copy(states[v*n:], vecs[v])
+		copy(want[v*n:], vecs[v])
+		pl.Forward(want[v*n : (v+1)*n])
+	}
+	pl.ForwardBatch(states, k)
+	for v := 0; v < k; v++ {
+		if !bitsEqualVec(states[v*n:(v+1)*n], want[v*n:(v+1)*n]) {
+			t.Fatalf("vector %d: batched non-finite propagation differs from per-vector", v)
+		}
+	}
+	// Clean neighbours of the NaN vector must be exactly NaN-free if their
+	// per-vector reference is (isolation, not just equality).
+	for i := 3 * n; i < 4*n; i++ {
+		if cmplx.IsNaN(want[i]) {
+			t.Fatalf("reference vector 3 unexpectedly contains NaN")
+		}
+	}
+}
+
+func TestPartitionMVMBatchBitwiseEqualsMVM(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	f := NewFlumenMesh(16)
+	p, err := f.NewPartition(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ProgramScaled(mat.RandomDense(6, 6, rng)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, planTile, planTile + 5} {
+		xs := make([][]complex128, k)
+		for v := range xs {
+			xs[v] = randVec(6, rng)
+		}
+		outs := p.MVMBatch(xs)
+		for v := range xs {
+			want := p.MVM(xs[v])
+			if !bitsEqualVec(outs[v], want) {
+				t.Fatalf("k=%d vector %d: MVMBatch differs from MVM", k, v)
+			}
+		}
+	}
+	if got := p.MVMBatch(nil); got != nil {
+		t.Fatalf("MVMBatch(nil) = %v, want nil", got)
+	}
+}
+
+// TestPartitionPlanAcrossOffsets programs the same block program into
+// partitions at different offsets and checks the compiled fabric plans
+// agree with the interpreted path at both (the parasitic-phase absorption
+// must survive compilation unchanged).
+func TestPartitionPlanAcrossOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	bp, err := CompileBlockScaled(mat.RandomDense(4, 4, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lo := range []int{0, 2, 4, 12} {
+		f := NewFlumenMesh(16)
+		p, err := f.NewPartition(lo, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(bp); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			in := randVec(16, rng)
+			want := make([]complex128, 16)
+			copy(want, in)
+			f.forwardInterp(want)
+			got := f.Forward(in)
+			if !bitsEqualVec(got, want) {
+				t.Fatalf("lo=%d trial=%d: plan differs from interpreted path", lo, trial)
+			}
+		}
+	}
+}
+
+// TestScaledProgramPlanZeroBlock covers the Scale-0 artifact: an all-zero
+// block's plan must also be bitwise-equal to its interpreted lattice.
+func TestScaledProgramPlanZeroBlock(t *testing.T) {
+	bp, err := CompileBlockScaled(mat.New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Scale != 0 {
+		t.Fatalf("zero block Scale = %g, want 0", bp.Scale)
+	}
+	pl, _ := bp.Plan()
+	rng := rand.New(rand.NewSource(103))
+	in := randVec(4, rng)
+	want := make([]complex128, 4)
+	bp.ForwardInto(want, in)
+	got := make([]complex128, 4)
+	copy(got, in)
+	pl.Forward(got)
+	if !bitsEqualVec(got, want) {
+		t.Fatal("zero-block plan differs from ForwardInto")
+	}
+}
+
+func TestCompileRangeMatchesForwardRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	m := NewMesh(10)
+	m.ProgramUnitary(mat.RandomUnitary(10, rng))
+	for _, r := range [][2]int{{0, 10}, {0, 5}, {5, 10}, {3, 7}, {4, 4}} {
+		pl := m.CompileRange(r[0], r[1])
+		in := randVec(10, rng)
+		want := make([]complex128, 10)
+		copy(want, in)
+		m.ForwardRange(want, r[0], r[1])
+		got := make([]complex128, 10)
+		copy(got, in)
+		pl.Forward(got)
+		if !bitsEqualVec(got, want) {
+			t.Fatalf("range [%d,%d): plan differs from ForwardRange", r[0], r[1])
+		}
+	}
+}
+
+func TestMatrixIntoMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	m := NewMesh(6)
+	m.ProgramUnitary(mat.RandomUnitary(6, rng))
+	a := m.Matrix()
+	b := m.MatrixInto(mat.New(6, 6))
+	if d := mat.MaxAbsDiff(a, b); d != 0 {
+		t.Fatalf("Mesh MatrixInto differs from Matrix by %g", d)
+	}
+
+	f := NewFlumenMesh(8)
+	p, err := f.NewPartition(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ProgramScaled(mat.RandomDense(4, 4, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.MaxAbsDiff(f.Matrix(), f.MatrixInto(mat.New(8, 8))); d != 0 {
+		t.Fatal("FlumenMesh MatrixInto differs from Matrix")
+	}
+	if d := mat.MaxAbsDiff(p.Matrix(), p.MatrixInto(mat.New(4, 4))); d != 0 {
+		t.Fatal("Partition MatrixInto differs from Matrix")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+	"sync/atomic"
 
 	"flumen/internal/mat"
 )
@@ -33,6 +34,10 @@ type FlumenMesh struct {
 	mu sync.Mutex
 	// parts tracks active compute partitions keyed by their low wire.
 	parts map[int]*Partition
+	// attenGen counts attenuator-column mutations; together with the mesh
+	// generation it validates the cached whole-fabric plan (compile.go).
+	attenGen  atomic.Uint64
+	planCache atomic.Pointer[fabricPlan]
 }
 
 // NewFlumenMesh returns an N-input Flumen mesh in the all-bar (pass-through)
@@ -61,29 +66,69 @@ func (f *FlumenMesh) Mesh() *Mesh { return f.mesh }
 func (f *FlumenMesh) Attenuator(w int) Attenuator { return f.atten[w] }
 
 // Forward propagates input E-fields through the left mesh half, the
-// attenuator column, the right mesh half, and the output phase screen.
+// attenuator column, the right mesh half, and the output phase screen. It
+// runs on the cached compiled plan (compile.go), which applies exactly the
+// interpreted operation sequence, so results are bitwise-identical to
+// device-by-device propagation.
 func (f *FlumenMesh) Forward(in []complex128) []complex128 {
 	if len(in) != f.n {
 		panic(fmt.Sprintf("photonic: Forward input length %d, want %d", len(in), f.n))
 	}
 	state := make([]complex128, f.n)
 	copy(state, in)
+	f.plan().Forward(state)
+	return state
+}
+
+// ForwardInPlace propagates the N-length state vector through the fabric in
+// place, without allocating.
+func (f *FlumenMesh) ForwardInPlace(state []complex128) {
+	if len(state) != f.n {
+		panic(fmt.Sprintf("photonic: ForwardInPlace state length %d, want %d", len(state), f.n))
+	}
+	f.plan().Forward(state)
+}
+
+// ForwardInterp is the device-by-device reference propagation: it walks
+// the left mesh half, attenuator column, right mesh half and output screen
+// interpreting each device directly, re-deriving every MZI transfer per
+// vector. The compiled plan must match it bitwise (the equivalence tests
+// pin this down); it is exported so benchmarks and verification tools can
+// compare against the pre-kernel baseline.
+func (f *FlumenMesh) ForwardInterp(state []complex128) {
+	if len(state) != f.n {
+		panic(fmt.Sprintf("photonic: ForwardInterp state length %d, want %d", len(state), f.n))
+	}
+	f.forwardInterp(state)
+}
+
+func (f *FlumenMesh) forwardInterp(state []complex128) {
 	f.mesh.ForwardRange(state, 0, f.n/2)
 	for i := range state {
 		state[i] *= f.atten[i].Amplitude()
 	}
 	f.mesh.ForwardRange(state, f.n/2, f.n)
 	f.mesh.ApplyOutputPhases(state)
-	return state
 }
 
 // Matrix returns the N×N matrix currently implemented by the fabric.
 func (f *FlumenMesh) Matrix() *mat.Dense {
-	m := mat.New(f.n, f.n)
+	return f.MatrixInto(mat.New(f.n, f.n))
+}
+
+// MatrixInto writes the fabric's N×N matrix into m and returns it, reusing
+// one state buffer across the basis-vector propagations.
+func (f *FlumenMesh) MatrixInto(m *mat.Dense) *mat.Dense {
+	if m.Rows() != f.n || m.Cols() != f.n {
+		panic("photonic: MatrixInto size mismatch")
+	}
+	pl := f.plan()
+	state := make([]complex128, f.n)
 	for j := 0; j < f.n; j++ {
-		in := make([]complex128, f.n)
-		in[j] = 1
-		m.SetCol(j, f.Forward(in))
+		clear(state)
+		state[j] = 1
+		pl.Forward(state)
+		m.SetCol(j, state)
 	}
 	return m
 }
@@ -95,6 +140,7 @@ func (f *FlumenMesh) Reset() {
 	for i := range f.atten {
 		f.atten[i] = Unit()
 	}
+	f.attenGen.Add(1)
 	f.mu.Lock()
 	f.parts = make(map[int]*Partition)
 	f.mu.Unlock()
@@ -184,6 +230,7 @@ func (f *FlumenMesh) EqualizeLoss(perMZIdB float64) float64 {
 		amp := math.Pow(10, -deficitDB/20) // field attenuation for power loss in dB
 		f.atten[midWire[src]] = NewAttenuator(complex(amp, 0))
 	}
+	f.attenGen.Add(1)
 	return float64(maxCount) * perMZIdB
 }
 
@@ -350,6 +397,7 @@ func (p *Partition) Apply(bp *BlockProgram) error {
 			}
 		}
 	}
+	p.f.attenGen.Add(1)
 	// Output phase screen: cancel pending phases and apply U's screen.
 	for i := 0; i < p.Size; i++ {
 		p.f.mesh.SetOutputPhase(p.Lo+i, bp.du[i]*cmplx.Conj(pend[i]))
@@ -391,19 +439,33 @@ func (p *Partition) Forward(in []complex128) []complex128 {
 	}
 	full := make([]complex128, p.f.n)
 	copy(full[p.Lo:], in)
-	out := p.f.Forward(full)
+	p.f.ForwardInPlace(full)
 	res := make([]complex128, p.Size)
-	copy(res, out[p.Lo:p.Lo+p.Size])
+	copy(res, full[p.Lo:p.Lo+p.Size])
 	return res
 }
 
 // Matrix returns the Size×Size matrix the partition currently implements.
 func (p *Partition) Matrix() *mat.Dense {
-	m := mat.New(p.Size, p.Size)
+	return p.MatrixInto(mat.New(p.Size, p.Size))
+}
+
+// MatrixInto writes the partition's Size×Size matrix into m and returns it,
+// reusing one full-fabric state buffer across the basis-vector propagations
+// (the health monitor's calibration probes call this in the serving path).
+func (p *Partition) MatrixInto(m *mat.Dense) *mat.Dense {
+	if m.Rows() != p.Size || m.Cols() != p.Size {
+		panic("photonic: partition MatrixInto size mismatch")
+	}
+	pl := p.f.plan()
+	full := make([]complex128, p.f.n)
+	col := make([]complex128, p.Size)
 	for j := 0; j < p.Size; j++ {
-		in := make([]complex128, p.Size)
-		in[j] = 1
-		m.SetCol(j, p.Forward(in))
+		clear(full)
+		full[p.Lo+j] = 1
+		pl.Forward(full)
+		copy(col, full[p.Lo:p.Lo+p.Size])
+		m.SetCol(j, col)
 	}
 	return m
 }
@@ -419,6 +481,42 @@ func (p *Partition) MVM(x []complex128) []complex128 {
 		}
 	}
 	return out
+}
+
+// MVMBatch performs the partition's matrix-vector product for every column
+// of xs in one pass over the compiled fabric plan: the plan's coefficients
+// are loaded once per op for a whole tile of right-hand sides instead of
+// once per op per vector. Each returned column is bitwise-identical to
+// MVM(xs[i]) — the batch only reorders work across vectors, never within
+// one — so callers can batch freely without perturbing results.
+func (p *Partition) MVMBatch(xs [][]complex128) [][]complex128 {
+	k := len(xs)
+	if k == 0 {
+		return nil
+	}
+	n := p.f.n
+	pl := p.f.plan()
+	states := make([]complex128, k*n)
+	for v, x := range xs {
+		if len(x) != p.Size {
+			panic(fmt.Sprintf("photonic: partition MVMBatch input length %d, want %d", len(x), p.Size))
+		}
+		copy(states[v*n+p.Lo:], x)
+	}
+	pl.ForwardBatch(states, k)
+	outs := make([][]complex128, k)
+	s := complex(p.Scale, 0)
+	for v := range outs {
+		out := make([]complex128, p.Size)
+		copy(out, states[v*n+p.Lo:v*n+p.Lo+p.Size])
+		if p.Scale != 1 {
+			for i := range out {
+				out[i] *= s
+			}
+		}
+		outs[v] = out
+	}
+	return outs
 }
 
 // RoutePermutationRange configures point-to-point communication among the
@@ -472,4 +570,5 @@ func (f *FlumenMesh) RoutePermutationRange(wLo int, perm []int) {
 		f.atten[w] = Unit()
 		f.mesh.SetOutputPhase(w, 1)
 	}
+	f.attenGen.Add(1)
 }

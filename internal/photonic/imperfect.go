@@ -60,6 +60,7 @@ func imperfectTransfer(z MZI, eta1, eta2 float64) [2][2]complex128 {
 // and returns the number of devices affected. Passing sigma = 0 restores
 // ideal couplers.
 func (m *Mesh) SetFabricationErrors(sigma float64, rng *rand.Rand) int {
+	defer m.invalidate()
 	if sigma == 0 {
 		m.fabEta = nil
 		return m.NumMZIs()
@@ -105,6 +106,9 @@ func (m *Mesh) InSituOptimize(target *mat.Dense, passes int) float64 {
 	if target.Rows() != m.n || target.Cols() != m.n {
 		panic("photonic: InSituOptimize target size mismatch")
 	}
+	// The coordinate probes below write phases through raw pointers; any
+	// cached plan is stale once optimization finishes.
+	defer m.invalidate()
 	err2 := func() float64 {
 		d := mat.Sub(m.Matrix(), target).FrobeniusNorm()
 		return d * d

@@ -3,6 +3,7 @@ package photonic
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"flumen/internal/mat"
 )
@@ -22,7 +23,14 @@ type Mesh struct {
 	// fabEta, when non-nil, holds per-slot static coupler splitting ratios
 	// (fabrication imperfections); see SetFabricationErrors.
 	fabEta [][][2]float64
+	// gen counts device mutations; a cached CompiledPlan is valid only while
+	// the generation it was compiled from is still current (compile.go).
+	gen  atomic.Uint64
+	plan atomic.Pointer[meshPlan]
 }
+
+// invalidate marks all cached plans over this mesh stale.
+func (m *Mesh) invalidate() { m.gen.Add(1) }
 
 // NewMesh returns an N-input rectangular mesh with every MZI in the bar
 // state (signals pass straight through) and an identity phase screen.
@@ -83,6 +91,7 @@ func (m *Mesh) SetMZI(c, w int, z MZI) {
 		panic(fmt.Sprintf("photonic: no MZI at column %d wire %d", c, w))
 	}
 	*m.cols[c][w] = z
+	m.invalidate()
 }
 
 // SetAllBar puts every MZI into the bar state and resets the phase screen,
@@ -99,6 +108,7 @@ func (m *Mesh) SetAllBar() {
 	for i := range m.outPhase {
 		m.outPhase[i] = 1
 	}
+	m.invalidate()
 }
 
 // SetOutputPhase assigns the output phase screen element at wire w; p must
@@ -108,6 +118,7 @@ func (m *Mesh) SetOutputPhase(w int, p complex128) {
 		panic("photonic: output phase must have unit modulus")
 	}
 	m.outPhase[w] = p
+	m.invalidate()
 }
 
 // OutputPhase returns the phase screen element at wire w.
@@ -123,6 +134,19 @@ func (m *Mesh) Forward(in []complex128) []complex128 {
 	copy(state, in)
 	m.forwardInPlace(state)
 	return state
+}
+
+// ForwardInPlace propagates the N-length state vector through the mesh in
+// place, without allocating. Like Forward it runs the interpreted
+// device-by-device path: mesh-level propagation stays valid mid-mutation
+// (InSituOptimize probes phases through raw pointers between calls), which
+// a cached plan could not promise. Callers that program once and propagate
+// many vectors should use CompilePlan (compile.go) instead.
+func (m *Mesh) ForwardInPlace(state []complex128) {
+	if len(state) != m.n {
+		panic(fmt.Sprintf("photonic: ForwardInPlace state length %d, want %d", len(state), m.n))
+	}
+	m.forwardInPlace(state)
 }
 
 func (m *Mesh) forwardInPlace(state []complex128) {
@@ -176,12 +200,23 @@ func (m *Mesh) ApplyOutputPhases(state []complex128) {
 // Matrix returns the N×N unitary implemented by the mesh, computed by
 // propagating the canonical basis vectors.
 func (m *Mesh) Matrix() *mat.Dense {
-	u := mat.New(m.n, m.n)
+	return m.MatrixInto(mat.New(m.n, m.n))
+}
+
+// MatrixInto writes the mesh's N×N unitary into u and returns it, reusing
+// one state buffer across the basis-vector propagations. InSituOptimize
+// evaluates this inside every coordinate probe, so the per-vector
+// allocations it avoids dominate the optimizer's garbage.
+func (m *Mesh) MatrixInto(u *mat.Dense) *mat.Dense {
+	if u.Rows() != m.n || u.Cols() != m.n {
+		panic("photonic: MatrixInto size mismatch")
+	}
+	state := make([]complex128, m.n)
 	for j := 0; j < m.n; j++ {
-		in := make([]complex128, m.n)
-		in[j] = 1
-		out := m.Forward(in)
-		u.SetCol(j, out)
+		clear(state)
+		state[j] = 1
+		m.forwardInPlace(state)
+		u.SetCol(j, state)
 	}
 	return u
 }
@@ -281,6 +316,7 @@ func (m *Mesh) RoutePermutation(perm []int) {
 	for i := range m.outPhase {
 		m.outPhase[i] = 1
 	}
+	m.invalidate()
 }
 
 // RouteBroadcast configures the mesh so the signal entering input src is

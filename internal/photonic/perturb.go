@@ -33,6 +33,7 @@ func (m *Mesh) PerturbPhases(sigma float64, rng *rand.Rand) int {
 	for i := range m.outPhase {
 		m.outPhase[i] *= phaseFactor(rng.NormFloat64() * sigma)
 	}
+	m.invalidate()
 	return count
 }
 
@@ -48,6 +49,7 @@ func (f *FlumenMesh) PerturbPhases(sigma float64, rng *rand.Rand) int {
 		f.atten[i] = Attenuator{Theta: theta, Phi: phi}
 		count++
 	}
+	f.attenGen.Add(1)
 	return count
 }
 

@@ -2,6 +2,7 @@ package photonic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"flumen/internal/mat"
 )
@@ -52,6 +53,12 @@ type BlockProgram struct {
 	du []complex128
 	// Column-ordered op lists with precomputed transfers for Forward.
 	vOps, uOps []progOp
+
+	// plan caches the compiled SoA kernel for this program. Because the
+	// program is immutable the plan never goes stale; it is compiled once
+	// on first use and lives as long as the program (so the engine's
+	// weight-program cache amortizes compilation across calls).
+	plan atomic.Pointer[CompiledPlan]
 }
 
 // compileOps flattens a slot map into the physical column-major application
@@ -177,14 +184,50 @@ func (bp *BlockProgram) MVM(x []complex128) []complex128 {
 	return out
 }
 
+// Plan returns the compiled propagation kernel for the program's lattice
+// (V* ops, Σ·dV diagonal, U ops, dU diagonal), compiling it on first call.
+// Propagating through the plan is bitwise-identical to ForwardInto. The
+// second result reports whether this call performed the compilation (false
+// when the cached plan was reused).
+func (bp *BlockProgram) Plan() (*CompiledPlan, bool) {
+	if pl := bp.plan.Load(); pl != nil {
+		return pl, false
+	}
+	b := newPlanBuilder(bp.Size)
+	for _, op := range bp.vOps {
+		b.addOp(op.w, op.t)
+	}
+	b.addDiag(bp.alpha)
+	for _, op := range bp.uOps {
+		b.addOp(op.w, op.t)
+	}
+	b.addDiag(bp.du)
+	pl := b.build()
+	// Racing compiles produce identical plans; first store wins, the rest
+	// adopt it so HasCompiledPlan stays single-valued.
+	if !bp.plan.CompareAndSwap(nil, pl) {
+		return bp.plan.Load(), false
+	}
+	return pl, true
+}
+
+// HasCompiledPlan reports whether the program's kernel has been compiled
+// (used by the engine's cache to account plan evictions).
+func (bp *BlockProgram) HasCompiledPlan() bool { return bp.plan.Load() != nil }
+
 // Matrix returns the Size×Size normalized matrix the program's lattice
-// implements (multiply by Scale to recover the compiled block).
+// implements (multiply by Scale to recover the compiled block). One input
+// and one output buffer are reused across the basis-vector propagations —
+// the device-health monitor evaluates this per probe in the serving path.
 func (bp *BlockProgram) Matrix() *mat.Dense {
 	m := mat.New(bp.Size, bp.Size)
+	in := make([]complex128, bp.Size)
+	out := make([]complex128, bp.Size)
 	for j := 0; j < bp.Size; j++ {
-		in := make([]complex128, bp.Size)
+		clear(in)
 		in[j] = 1
-		m.SetCol(j, bp.Forward(in))
+		bp.ForwardInto(out, in)
+		m.SetCol(j, out)
 	}
 	return m
 }

@@ -84,6 +84,11 @@ type Config struct {
 	// service. While any partition is out of service /healthz reports
 	// "degraded" (still 200) and /metrics exports flumend_health_* series.
 	Health *flumen.HealthConfig
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the serving
+	// mux. Off by default: the profile endpoints expose stacks and timings,
+	// so they are opt-in (flumend -pprof) and meant for trusted networks.
+	EnablePprof bool
 }
 
 // DefaultConfig returns production-leaning defaults on a 32-port fabric.

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -85,6 +86,16 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/matmul", s.handleMatMul)
 	s.mux.HandleFunc("POST /v1/conv2d", s.handleConv2D)
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	if cfg.EnablePprof {
+		// Index serves every named profile (heap, goroutine, mutex, block,
+		// allocs) under the prefix; the four fixed handlers are the ones the
+		// index cannot route itself.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -201,6 +212,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions: st.Cache.Evictions,
 		CacheEntries:   st.Cache.Entries,
 		CacheCapacity:  st.Cache.Capacity,
+
+		CompileHits:      st.Kernel.PlanReuses,
+		CompileMisses:    st.Kernel.PlanCompiles,
+		CompileEvictions: st.Kernel.PlanEvictions,
+		CompileFallbacks: st.Kernel.Fallbacks,
 	}
 	if fs := st.Fabric; fs != nil {
 		snap.Fabric = &fabricSnapshot{

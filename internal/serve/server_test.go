@@ -503,9 +503,42 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"flumend_energy_picojoules_total",
 		"flumend_partitions 2",
 		`flumend_request_duration_seconds_count{endpoint="matmul"} 1`,
+		"flumend_engine_compile_hits_total",
+		"flumend_engine_compile_misses_total",
+		"flumend_engine_compile_evictions_total",
+		"flumend_engine_compile_fallbacks_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// Profiling endpoints are opt-in: absent by default, mounted with
+// Config.EnablePprof (flumend -pprof).
+func TestPprofGate(t *testing.T) {
+	_, off := newTestServer(t, testConfig())
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	cfg := testConfig()
+	cfg.EnablePprof = true
+	_, on := newTestServer(t, cfg)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof on: %s status %d, want 200", path, resp.StatusCode)
 		}
 	}
 }
