@@ -1,0 +1,309 @@
+package main
+
+// flumen-bench -cluster: measure what weight-affinity routing is worth.
+//
+// The experiment spins up a router over N real flumend instances on
+// loopback (the internal/cluster harness) and serves a workload of K
+// distinct weight matrices, each requested repeatedly. Per-node program
+// caches are sized so an affinity-routed node holds its K/N share with room
+// to spare, while a randomly-routed node sees all K fingerprints and
+// thrashes its LRU — the datacenter-scale rerun of the PR-1 warm-vs-cold
+// cache experiment. Both arms run against fresh backends (cold caches), do
+// one untimed warm pass, then measure steady-state throughput. Every
+// response is checked bitwise against a direct single-accelerator
+// computation: routing policy may move work between nodes but must never
+// change a single output bit.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flumen"
+	"flumen/internal/cluster"
+	"flumen/internal/serve"
+)
+
+type clusterArm struct {
+	Policy         string  `json:"policy"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	Seconds        float64 `json:"seconds"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	AffinityRatio  float64 `json:"affinity_ratio"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheEvictions int64   `json:"cache_evictions"`
+	BitwiseEqual   bool    `json:"bitwise_equal"`
+	CleanDrain     bool    `json:"clean_drain"`
+}
+
+type clusterResult struct {
+	Backends     int         `json:"backends"`
+	Matrices     int         `json:"matrices"`
+	MatrixDim    int         `json:"matrix_dim"`
+	NRHS         int         `json:"nrhs"`
+	CachePerNode int         `json:"cache_per_node"`
+	Concurrency  int         `json:"concurrency"`
+	Smoke        bool        `json:"smoke"`
+	Affinity     clusterArm  `json:"affinity"`
+	Random       clusterArm  `json:"random"`
+	Speedup      float64     `json:"speedup_affinity_over_random"`
+}
+
+func runClusterBench(out string, smoke bool) error {
+	backends, matrices, dim, nrhs, requests, conc := 3, 18, 32, 4, 216, 4
+	if smoke {
+		backends, matrices, dim, nrhs, requests, conc = 2, 8, 32, 2, 64, 4
+	}
+	serveCfg := serve.DefaultConfig()
+	serveCfg.Ports = 32
+	serveCfg.BlockSize = 16
+	serveCfg.QueueDepth = 512
+
+	// The program cache is keyed per block, and a dim×dim matmul compiles
+	// (dim/block)² block programs. Size each node's LRU to hold every
+	// matrix but one: an affinity-routed node's share always fits (the
+	// rendezvous split over ephemeral-port node names is uneven, so sizing
+	// for an exact K/N share would thrash the unlucky node), while random
+	// routing exposes every node to the full catalog — one matrix over
+	// capacity, and a round-robin workload is the LRU worst case: the
+	// cache evicts each entry moments before its next use.
+	blocksPerMatrix := (dim / serveCfg.BlockSize) * (dim / serveCfg.BlockSize)
+	cachePerNode := (matrices - 1) * blocksPerMatrix
+	serveCfg.CacheSize = cachePerNode
+
+	// Deterministic workload: K distinct weight matrices, one shared RHS.
+	rng := rand.New(rand.NewSource(7))
+	ms := make([][][]float64, matrices)
+	for k := range ms {
+		ms[k] = randDense(rng, dim, dim)
+	}
+	x := randDense(rng, dim, nrhs)
+
+	// Reference results from a single accelerator with the backends'
+	// geometry: what a lone flumend would have answered.
+	ref, err := flumen.NewAccelerator(serveCfg.Ports, serveCfg.BlockSize)
+	if err != nil {
+		return err
+	}
+	want := make([][][]float64, matrices)
+	for k := range ms {
+		if want[k], err = ref.MatMul(ms[k], x); err != nil {
+			return err
+		}
+	}
+
+	res := clusterResult{
+		Backends:     backends,
+		Matrices:     matrices,
+		MatrixDim:    dim,
+		NRHS:         nrhs,
+		CachePerNode: cachePerNode,
+		Concurrency:  conc,
+		Smoke:        smoke,
+	}
+	fmt.Printf("=== cluster bench: %d backends, %d matrices (%d×%d, %d rhs), cache %d/node ===\n",
+		backends, matrices, dim, dim, nrhs, cachePerNode)
+	for _, policy := range []string{cluster.PolicyAffinity, cluster.PolicyRandom} {
+		arm, err := runClusterArm(policy, backends, serveCfg, ms, x, want, requests, conc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9s %6.1f req/s  affinity ratio %.3f  cache %d hits / %d misses / %d evictions  bitwise=%v drain=%v\n",
+			policy, arm.ThroughputRPS, arm.AffinityRatio, arm.CacheHits, arm.CacheMisses, arm.CacheEvictions,
+			arm.BitwiseEqual, arm.CleanDrain)
+		if policy == cluster.PolicyAffinity {
+			res.Affinity = arm
+		} else {
+			res.Random = arm
+		}
+	}
+	if res.Random.ThroughputRPS > 0 {
+		res.Speedup = res.Affinity.ThroughputRPS / res.Random.ThroughputRPS
+	}
+	fmt.Printf("affinity / random warm-cache throughput: %.2f×\n", res.Speedup)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if smoke {
+		switch {
+		case !res.Affinity.BitwiseEqual || !res.Random.BitwiseEqual:
+			return fmt.Errorf("cluster smoke: responses diverged from the single-node reference")
+		case res.Affinity.Errors > 0 || res.Random.Errors > 0:
+			return fmt.Errorf("cluster smoke: %d/%d request errors (affinity/random)", res.Affinity.Errors, res.Random.Errors)
+		case !res.Affinity.CleanDrain || !res.Random.CleanDrain:
+			return fmt.Errorf("cluster smoke: router did not drain cleanly")
+		case res.Speedup <= 1.0:
+			return fmt.Errorf("cluster smoke: affinity routing (%.1f req/s) did not beat random (%.1f req/s)",
+				res.Affinity.ThroughputRPS, res.Random.ThroughputRPS)
+		}
+		fmt.Println("cluster smoke: PASS")
+	}
+	return nil
+}
+
+// runClusterArm measures one routing policy against a fresh fleet.
+func runClusterArm(policy string, backends int, serveCfg serve.Config, ms [][][]float64, x [][]float64,
+	want [][][]float64, requests, conc int) (clusterArm, error) {
+	arm := clusterArm{Policy: policy, Requests: requests, BitwiseEqual: true}
+
+	h, err := cluster.StartBackends(backends, serveCfg)
+	if err != nil {
+		return arm, err
+	}
+	defer h.Stop()
+
+	rcfg := cluster.DefaultConfig()
+	rcfg.Addr = "127.0.0.1:0"
+	rcfg.Backends = h.URLs()
+	rcfg.Policy = policy
+	rcfg.ProbeInterval = 100 * time.Millisecond
+	rcfg.Seed = 1
+	rt, err := cluster.New(rcfg)
+	if err != nil {
+		return arm, err
+	}
+	if err := rt.Listen(); err != nil {
+		return arm, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- rt.Run(ctx) }()
+	base := "http://" + rt.Addr()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+
+	post := func(k int) error {
+		body, _ := json.Marshal(map[string]any{"m": ms[k], "x": x})
+		resp, err := client.Post(base+"/v1/matmul", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		rb, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d: %s", resp.StatusCode, rb)
+		}
+		var mr serve.MatMulResponse
+		if err := json.Unmarshal(rb, &mr); err != nil {
+			return err
+		}
+		if !bitwiseEqual2D(mr.C, want[k]) {
+			return errBitwise
+		}
+		return nil
+	}
+
+	// Warm pass: every matrix lands once, compiling its plan on whichever
+	// node the policy picked (untimed).
+	for k := range ms {
+		if err := post(k); err != nil {
+			cancel()
+			<-runDone
+			return arm, fmt.Errorf("cluster bench (%s) warm pass: %w", policy, err)
+		}
+	}
+
+	// Timed phase: requests round-robin over the matrices from conc
+	// workers, the steady-state regime where cache residency is the
+	// difference between policies.
+	var errs, bitwise atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				if err := post(i % len(ms)); err != nil {
+					if err == errBitwise {
+						bitwise.Add(1)
+					}
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	arm.Seconds = time.Since(start).Seconds()
+	arm.Errors = int(errs.Load())
+	arm.BitwiseEqual = bitwise.Load() == 0
+	if arm.Seconds > 0 {
+		arm.ThroughputRPS = float64(requests) / arm.Seconds
+	}
+
+	st := rt.Stats()
+	if st.Routed > 0 {
+		arm.AffinityRatio = float64(st.AffinityHits) / float64(st.Routed)
+	}
+	for i := 0; i < h.N(); i++ {
+		cs := h.Backend(i).Accelerator().Stats().Cache
+		arm.CacheHits += cs.Hits
+		arm.CacheMisses += cs.Misses
+		arm.CacheEvictions += cs.Evictions
+	}
+
+	cancel()
+	arm.CleanDrain = <-runDone == nil
+	return arm, nil
+}
+
+var errBitwise = fmt.Errorf("response differs bitwise from single-node reference")
+
+func randDense(rng *rand.Rand, rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func bitwiseEqual2D(got, want [][]float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range got[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -11,6 +11,7 @@
 //	flumen-bench -fabric [-fabricout file]
 //	flumen-bench -faults [-faultsout file] [-smoke]
 //	flumen-bench -kernel [-kernelout file] [-smoke]
+//	flumen-bench -cluster [-clusterout file] [-smoke]
 //
 // With no selector flags all three tables print. -scale shrinks the
 // workloads by the given linear factor for quick runs. -engine instead
@@ -30,6 +31,12 @@
 // engine path against the compiled SoA kernels (cold and warm caches,
 // bitwise-checked at every point) and writes BENCH_kernel.json; with
 // -smoke it shrinks the sweep and enforces only the bitwise gate.
+// -cluster spins up a weight-affinity router over in-process flumend
+// backends on loopback and compares warm-cache throughput of affinity
+// routing against random routing (responses bitwise-checked against a
+// single-node reference), writing BENCH_cluster.json; -smoke shrinks the
+// fleet and fails unless affinity wins, responses match, and the router
+// drains cleanly.
 package main
 
 import (
@@ -59,9 +66,18 @@ func main() {
 	faultsOut := flag.String("faultsout", "BENCH_faults.json", "output file for -faults results")
 	kernelBench := flag.Bool("kernel", false, "benchmark compiled propagation kernels vs the interpreted path")
 	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output file for -kernel results")
-	smoke := flag.Bool("smoke", false, "with -faults/-kernel: shrink the sweep (and for -faults fail on acceptance violations)")
+	clusterBench := flag.Bool("cluster", false, "benchmark affinity vs random routing over in-process flumend backends")
+	clusterOut := flag.String("clusterout", "BENCH_cluster.json", "output file for -cluster results")
+	smoke := flag.Bool("smoke", false, "with -faults/-kernel/-cluster: shrink the sweep and fail on acceptance violations")
 	flag.Parse()
 
+	if *clusterBench {
+		if err := runClusterBench(*clusterOut, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *kernelBench {
 		if err := runKernelBench(*kernelOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -47,6 +47,8 @@ func main() {
 	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-request deadline")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "graceful shutdown budget")
 	flag.Int64Var(&cfg.InferSeed, "infer-seed", cfg.InferSeed, "seed for the built-in model weights")
+	flag.StringVar(&cfg.NodeID, "node-id", "", "cluster identity echoed as X-Flumen-Node (empty = random)")
+	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", cfg.MaxBodyBytes, "request body size limit in bytes (oversized bodies get 413)")
 	fabricOn := flag.Bool("fabric", false, "attach the dynamic fabric arbiter and drive background NoP traffic")
 	fabricRate := flag.Float64("fabric-rate", 0.0, "background NoP offered load in packets/node/cycle (with -fabric; 0 = idle network)")
 	fabricBudget := flag.Int("fabric-budget", 0, "reclaim cycle-budget SLO (0 = default)")
@@ -86,8 +88,8 @@ func main() {
 	defer stop()
 
 	st := srv.Accelerator().Stats()
-	log.Printf("flumend: listening on %s (fabric %d ports, %d partitions of %d, cache %d programs)",
-		srv.Addr(), st.Ports, st.Partitions, st.BlockSize, st.Cache.Capacity)
+	log.Printf("flumend: node %s listening on %s (fabric %d ports, %d partitions of %d, cache %d programs)",
+		srv.NodeID(), srv.Addr(), st.Ports, st.Partitions, st.BlockSize, st.Cache.Capacity)
 	if arb := srv.Fabric(); arb != nil {
 		log.Printf("flumend: dynamic fabric arbiter attached (%d partitions, background load %.3f packets/node/cycle)",
 			arb.Partitions(), *fabricRate)

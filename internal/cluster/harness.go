@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"flumen/internal/serve"
+)
+
+// Harness spins up N real flumend instances on loopback inside one process,
+// so cluster tests and flumen-bench -cluster exercise the genuine HTTP
+// path — real listeners, real JSON, real schedulers and program caches —
+// without forking binaries. Kill simulates a crashed node (abrupt
+// connection teardown, no drain) and Restart brings a replacement up on the
+// same address with the same node identity, which is exactly the
+// eject-then-reinstate sequence the router's pool must survive.
+type Harness struct {
+	mu    sync.Mutex
+	cfg   serve.Config
+	nodes []*harnessNode
+}
+
+type harnessNode struct {
+	srv    *serve.Server
+	addr   string // pinned after first bind so restarts reuse it
+	nodeID string
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// StartBackends launches n flumend instances with the given base config
+// (Addr is overridden with loopback-any-port; NodeID with "node-<i>").
+// Identical Ports/BlockSize/Precision/InferSeed across nodes is what makes
+// the fleet bitwise-interchangeable.
+func StartBackends(n int, base serve.Config) (*Harness, error) {
+	h := &Harness{cfg: base}
+	for i := 0; i < n; i++ {
+		node := &harnessNode{nodeID: fmt.Sprintf("node-%d", i)}
+		h.nodes = append(h.nodes, node)
+		if err := h.start(node, "127.0.0.1:0"); err != nil {
+			h.Stop()
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// start boots one node on the given address and records its bound port.
+func (h *Harness) start(node *harnessNode, addr string) error {
+	cfg := h.cfg
+	cfg.Addr = addr
+	cfg.NodeID = node.nodeID
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	node.srv = srv
+	node.addr = srv.Addr()
+	node.cancel = cancel
+	node.done = done
+	return nil
+}
+
+// N returns the backend count.
+func (h *Harness) N() int { return len(h.nodes) }
+
+// URLs returns the backends' base URLs in index order.
+func (h *Harness) URLs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	urls := make([]string, len(h.nodes))
+	for i, node := range h.nodes {
+		urls[i] = "http://" + node.addr
+	}
+	return urls
+}
+
+// Backend exposes node i's server (e.g. for Stats()).
+func (h *Harness) Backend(i int) *serve.Server {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nodes[i].srv
+}
+
+// NodeID returns node i's cluster identity.
+func (h *Harness) NodeID(i int) string { return h.nodes[i].nodeID }
+
+// Kill tears node i down abruptly — open connections reset, no drain — the
+// in-process equivalent of SIGKILL. The address stays reserved for Restart.
+func (h *Harness) Kill(i int) error {
+	h.mu.Lock()
+	node := h.nodes[i]
+	h.mu.Unlock()
+	if node.srv == nil {
+		return fmt.Errorf("cluster: backend %d is not running", i)
+	}
+	err := node.srv.Close()
+	node.cancel()
+	select {
+	case runErr := <-node.done:
+		if runErr != nil && !errors.Is(runErr, http.ErrServerClosed) && err == nil {
+			err = runErr
+		}
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("cluster: backend %d did not exit after Close", i)
+	}
+	h.mu.Lock()
+	node.srv = nil
+	h.mu.Unlock()
+	return err
+}
+
+// Restart brings a killed node back on its original address with its
+// original identity (a fresh process: caches cold, counters zeroed).
+func (h *Harness) Restart(i int) error {
+	h.mu.Lock()
+	node := h.nodes[i]
+	h.mu.Unlock()
+	if node.srv != nil {
+		return fmt.Errorf("cluster: backend %d is already running", i)
+	}
+	return h.start(node, node.addr)
+}
+
+// Stop gracefully drains every running node and waits for exit.
+func (h *Harness) Stop() {
+	h.mu.Lock()
+	nodes := append([]*harnessNode(nil), h.nodes...)
+	h.mu.Unlock()
+	for _, node := range nodes {
+		if node.srv == nil {
+			continue
+		}
+		node.cancel()
+	}
+	for _, node := range nodes {
+		if node.srv == nil {
+			continue
+		}
+		select {
+		case <-node.done:
+		case <-time.After(15 * time.Second):
+		}
+		node.srv = nil
+	}
+}

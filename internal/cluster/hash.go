@@ -1,0 +1,57 @@
+package cluster
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing assigns every routing key a
+// total preference order over backends: score(key, b) = mix(h(key), h(b)),
+// ranked descending. Unlike a mod-N ring, adding or removing one backend
+// reassigns only the keys whose top choice was that backend (1/N of them);
+// every other key keeps its warm cache. The key is the raw-bit weight
+// fingerprint from internal/serve, so the preference order is exactly
+// "which node's weight-program cache should own this matrix".
+
+// hash64 is FNV-1a over the key bytes.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 combines the key and backend hashes into a rendezvous score using
+// the splitmix64 finalizer, whose avalanche keeps one backend's scores
+// uncorrelated across keys (plain XOR would rank backends identically for
+// every key that hashes near another).
+func mix64(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// rendezvousOrder returns indices of nodeHashes ranked by descending score
+// for key (ties broken by index for determinism). nodeHashes are the
+// precomputed hash64 values of the backend names.
+func rendezvousOrder(key string, nodeHashes []uint64) []int {
+	kh := hash64(key)
+	order := make([]int, len(nodeHashes))
+	scores := make([]uint64, len(nodeHashes))
+	for i, nh := range nodeHashes {
+		order[i] = i
+		scores[i] = mix64(kh, nh)
+	}
+	// Insertion sort: N is the backend count (single digits), and this
+	// avoids closure allocations on the per-request hot path.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if scores[a] > scores[b] || (scores[a] == scores[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	return order
+}

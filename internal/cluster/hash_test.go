@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodeHashes(names []string) []uint64 {
+	hs := make([]uint64, len(names))
+	for i, n := range names {
+		hs[i] = hash64(n)
+	}
+	return hs
+}
+
+func TestRendezvousOrderIsAPermutation(t *testing.T) {
+	hs := nodeHashes([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"})
+	for k := 0; k < 100; k++ {
+		order := rendezvousOrder(fmt.Sprintf("key-%d", k), hs)
+		if len(order) != len(hs) {
+			t.Fatalf("order has %d entries, want %d", len(order), len(hs))
+		}
+		seen := make(map[int]bool)
+		for _, i := range order {
+			if i < 0 || i >= len(hs) || seen[i] {
+				t.Fatalf("order %v is not a permutation of 0..%d", order, len(hs)-1)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestRendezvousOrderIsDeterministic(t *testing.T) {
+	hs := nodeHashes([]string{"http://a:1", "http://b:1", "http://c:1"})
+	a := rendezvousOrder("the-key", hs)
+	b := rendezvousOrder("the-key", hs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same key ranked differently: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption is the property the router exists for:
+// removing one backend reassigns only the keys homed on it — every other
+// key keeps its warm node.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full := nodeHashes(names)
+	const removed = 2
+	reduced := append(append([]uint64{}, full[:removed]...), full[removed+1:]...)
+	reducedNames := append(append([]string{}, names[:removed]...), names[removed+1:]...)
+
+	moved, kept := 0, 0
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		before := names[rendezvousOrder(key, full)[0]]
+		after := reducedNames[rendezvousOrder(key, reduced)[0]]
+		if before == names[removed] {
+			continue // homed on the removed node; must move by definition
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not homed on the removed backend changed homes (kept %d)", moved, kept)
+	}
+}
+
+// TestRendezvousSpreadsKeys guards against a degenerate mix: over many keys
+// every backend should own a non-trivial share.
+func TestRendezvousSpreadsKeys(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	hs := nodeHashes(names)
+	counts := make([]int, len(hs))
+	const keys = 3000
+	for k := 0; k < keys; k++ {
+		counts[rendezvousOrder(fmt.Sprintf("key-%d", k), hs)[0]]++
+	}
+	for i, c := range counts {
+		// Expected share is 1/3; flag anything below half of that.
+		if c < keys/6 {
+			t.Fatalf("backend %d owns only %d/%d keys: %v", i, c, keys, counts)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// The backend pool: health bookkeeping for every flumend node. Two signal
+// sources feed one per-backend state machine —
+//
+//	active ──(FailThreshold consecutive failures)──▶ ejected
+//	ejected ──(EjectionTime cooldown + 1 probe success)──▶ probation
+//	probation ──(ReinstateAfter consecutive successes)──▶ active
+//	probation ──(any failure)──▶ ejected (cooldown restarts)
+//
+// Active probes (GET /healthz every ProbeInterval) catch silent death and
+// drive reinstatement; passive signals from live traffic catch failures
+// between probes, so a crashed node stops taking traffic after
+// FailThreshold in-flight errors rather than waiting out a probe cycle.
+// flumend's degraded-health payload ("status":"degraded" while partitions
+// are quarantined) deprioritizes a node without ejecting it: a degraded
+// node still computes correctly on its shrunken partition pool.
+
+// State is a backend's position in the ejection state machine.
+type State int32
+
+const (
+	StateActive State = iota
+	StateProbation
+	StateEjected
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateProbation:
+		return "probation"
+	case StateEjected:
+		return "ejected"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// backend is one flumend node and its health ledger.
+type backend struct {
+	name string // normalized base URL; doubles as the rendezvous identity
+	base *url.URL
+	hash uint64 // precomputed hash64(name)
+
+	mu          sync.Mutex
+	state       State
+	degraded    bool   // last /healthz said "degraded"
+	node        string // last-seen X-Flumen-Node identity
+	consecFails int
+	consecOKs   int
+	ejectedAt   time.Time
+
+	// Counters (all guarded by mu; exported via snapshots).
+	requests      int64 // live requests attempted against this backend
+	errors        int64 // live requests that failed (transport or 5xx)
+	spills        int64 // 503 answers that spilled to the next candidate
+	probes        int64
+	probeFailures int64
+	ejections     int64
+	reinstates    int64
+}
+
+// BackendStats is a point-in-time health snapshot of one backend.
+type BackendStats struct {
+	Name          string
+	Node          string
+	State         State
+	Degraded      bool
+	ConsecFails   int
+	Requests      int64
+	Errors        int64
+	Spills        int64
+	Probes        int64
+	ProbeFailures int64
+	Ejections     int64
+	Reinstates    int64
+}
+
+func (b *backend) snapshot() BackendStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStats{
+		Name:          b.name,
+		Node:          b.node,
+		State:         b.state,
+		Degraded:      b.degraded,
+		ConsecFails:   b.consecFails,
+		Requests:      b.requests,
+		Errors:        b.errors,
+		Spills:        b.spills,
+		Probes:        b.probes,
+		ProbeFailures: b.probeFailures,
+		Ejections:     b.ejections,
+		Reinstates:    b.reinstates,
+	}
+}
+
+// observeSuccess records a success from either signal source and advances
+// probation toward reinstatement.
+func (b *backend) observeSuccess(cfg *Config, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	switch b.state {
+	case StateProbation:
+		b.consecOKs++
+		if b.consecOKs >= cfg.ReinstateAfter {
+			b.state = StateActive
+			b.reinstates++
+		}
+	case StateEjected:
+		// Cooldown gates re-entry: successes only start counting once the
+		// ejection time has been served.
+		if now.Sub(b.ejectedAt) >= cfg.EjectionTime {
+			b.state = StateProbation
+			b.consecOKs = 1
+		}
+	}
+}
+
+// observeFailure records a failure from either signal source; enough of
+// them in a row ejects the backend, and any failure during probation sends
+// it straight back to ejected with a fresh cooldown.
+func (b *backend) observeFailure(cfg *Config, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecOKs = 0
+	b.consecFails++
+	switch b.state {
+	case StateActive:
+		if b.consecFails >= cfg.FailThreshold {
+			b.state = StateEjected
+			b.ejectedAt = now
+			b.ejections++
+		}
+	case StateProbation:
+		b.state = StateEjected
+		b.ejectedAt = now
+	}
+}
+
+// pool owns the backends and the probe loops.
+type pool struct {
+	cfg      *Config
+	backends []*backend
+	hashes   []uint64
+	probeCli *http.Client
+
+	stop     context.CancelFunc
+	probesWG sync.WaitGroup
+}
+
+func newPool(cfg *Config) (*pool, error) {
+	p := &pool{cfg: cfg, probeCli: &http.Client{Timeout: cfg.ProbeTimeout}}
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: backend %q: %w", raw, err)
+		}
+		b := &backend{name: raw, base: u, hash: hash64(raw)}
+		p.backends = append(p.backends, b)
+		p.hashes = append(p.hashes, b.hash)
+	}
+	return p, nil
+}
+
+// start launches one probe loop per backend.
+func (p *pool) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.stop = cancel
+	for _, b := range p.backends {
+		p.probesWG.Add(1)
+		go p.probeLoop(ctx, b)
+	}
+}
+
+// shutdown stops the probe loops and waits for them to exit.
+func (p *pool) shutdown() {
+	if p.stop != nil {
+		p.stop()
+	}
+	p.probesWG.Wait()
+}
+
+func (p *pool) probeLoop(ctx context.Context, b *backend) {
+	defer p.probesWG.Done()
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.probe(ctx, b)
+		}
+	}
+}
+
+// healthBody is the slice of flumend's /healthz payload the pool consumes.
+type healthBody struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+// probe hits the backend's /healthz once and feeds the state machine.
+func (p *pool) probe(ctx context.Context, b *backend) {
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.name+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	b.probes++
+	b.mu.Unlock()
+
+	resp, err := p.probeCli.Do(req)
+	now := time.Now()
+	if err != nil {
+		b.mu.Lock()
+		b.probeFailures++
+		b.mu.Unlock()
+		b.observeFailure(p.cfg, now)
+		return
+	}
+	defer resp.Body.Close()
+	var hb healthBody
+	ok := resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&hb) == nil
+	// A draining backend answers probes but refuses work: treat it as a
+	// probe failure so it drifts out of the preference order without
+	// waiting for live-traffic 503s.
+	if !ok || hb.Draining {
+		b.mu.Lock()
+		b.probeFailures++
+		b.mu.Unlock()
+		b.observeFailure(p.cfg, now)
+		return
+	}
+	b.mu.Lock()
+	b.degraded = hb.Status == "degraded"
+	if n := resp.Header.Get("X-Flumen-Node"); n != "" {
+		b.node = n
+	}
+	b.mu.Unlock()
+	b.observeSuccess(p.cfg, now)
+}
+
+// candidates returns the preference-ordered routable backends for a key:
+// healthy actives first, then degraded actives, then probationary nodes —
+// each tier internally in rendezvous order (ejected backends are excluded
+// entirely). home is the rendezvous-first backend over the full pool
+// regardless of health: the node whose cache "owns" the key, used for
+// affinity accounting.
+func (p *pool) candidates(key string) (order []*backend, home *backend) {
+	rank := rendezvousOrder(key, p.hashes)
+	home = p.backends[rank[0]]
+	var healthy, degraded, probation []*backend
+	for _, i := range rank {
+		b := p.backends[i]
+		b.mu.Lock()
+		st, deg := b.state, b.degraded
+		b.mu.Unlock()
+		switch {
+		case st == StateActive && !deg:
+			healthy = append(healthy, b)
+		case st == StateActive:
+			degraded = append(degraded, b)
+		case st == StateProbation:
+			probation = append(probation, b)
+		}
+	}
+	order = append(append(healthy, degraded...), probation...)
+	return order, home
+}

@@ -1,0 +1,615 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"flumen/internal/serve"
+)
+
+// Router is the cluster front door: it terminates client HTTP, computes the
+// routing key (the weight fingerprint), and proxies to the
+// preference-ordered backends with spill-on-503, budget-bounded retries,
+// and optional hedging. The router holds no compute state of its own —
+// backends stay bitwise-deterministic, so any healthy node can serve any
+// request; affinity only decides who serves it fastest.
+type Router struct {
+	cfg    Config
+	pool   *pool
+	met    *routerMetrics
+	budget *retryBudget
+	client *http.Client
+
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	lis     net.Listener
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	drainMu  sync.Mutex
+	draining bool
+}
+
+// New builds a router over the configured backends and starts health
+// probing immediately.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := newPool(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rt := &Router{
+		cfg:    cfg,
+		pool:   p,
+		met:    newRouterMetrics(),
+		budget: newRetryBudget(cfg.RetryBudget, cfg.RetryBurst),
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+		mux:    http.NewServeMux(),
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("POST /v1/matmul", rt.handleProxy("matmul", "/v1/matmul", matmulKey))
+	rt.mux.HandleFunc("POST /v1/conv2d", rt.handleProxy("conv2d", "/v1/conv2d", conv2dKey))
+	rt.mux.HandleFunc("POST /v1/infer", rt.handleProxy("infer", "/v1/infer", inferKey))
+	rt.httpSrv = &http.Server{Handler: rt.mux}
+	p.start()
+	return rt, nil
+}
+
+// Handler exposes the route table (tests drive it directly).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Addr returns the bound listen address once Listen has run.
+func (rt *Router) Addr() string {
+	if rt.lis == nil {
+		return rt.cfg.Addr
+	}
+	return rt.lis.Addr().String()
+}
+
+// Listen binds the configured address without serving yet.
+func (rt *Router) Listen() error {
+	lis, err := net.Listen("tcp", rt.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	rt.lis = lis
+	return nil
+}
+
+// Run serves until ctx is cancelled, then drains gracefully: the listener
+// stops accepting and in-flight proxied requests get DrainTimeout to
+// finish. Probing stops last so /healthz state stays live during drain.
+func (rt *Router) Run(ctx context.Context) error {
+	if rt.lis == nil {
+		if err := rt.Listen(); err != nil {
+			return err
+		}
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- rt.httpSrv.Serve(rt.lis) }()
+
+	select {
+	case err := <-serveErr:
+		rt.pool.shutdown()
+		return err
+	case <-ctx.Done():
+	}
+
+	rt.drainMu.Lock()
+	rt.draining = true
+	rt.drainMu.Unlock()
+	drainCtx, cancel := context.WithTimeout(context.Background(), rt.cfg.DrainTimeout)
+	defer cancel()
+	err := rt.httpSrv.Shutdown(drainCtx)
+	rt.pool.shutdown()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("cluster: drain incomplete: %w", err)
+	}
+	return nil
+}
+
+// Shutdown stops health probing; used by tests that drive Handler directly
+// and never call Run.
+func (rt *Router) Shutdown() { rt.pool.shutdown() }
+
+// Stats is a point-in-time routing snapshot.
+type Stats struct {
+	Backends     []BackendStats
+	Routed       int64
+	AffinityHits int64
+	Retries      int64
+	Spills       int64
+	Hedges       int64
+	HedgeWins    int64
+	NoBackend    int64
+	RetryBudget  float64
+}
+
+// Stats snapshots the pool and routing counters.
+func (rt *Router) Stats() Stats {
+	st := Stats{RetryBudget: rt.budget.available()}
+	for _, b := range rt.pool.backends {
+		st.Backends = append(st.Backends, b.snapshot())
+	}
+	rt.met.mu.Lock()
+	st.Routed = rt.met.routed
+	st.AffinityHits = rt.met.affinityHits
+	st.Retries = rt.met.retries
+	st.Spills = rt.met.spills
+	st.Hedges = rt.met.hedges
+	st.HedgeWins = rt.met.hedgeWins
+	st.NoBackend = rt.met.noBackend
+	rt.met.mu.Unlock()
+	return st
+}
+
+// --- routing keys -----------------------------------------------------------
+
+// matmulKey fingerprints the weight matrix — the exact key the backend's
+// program cache and coalescer use, so routing affinity and cache affinity
+// are the same relation.
+func matmulKey(body []byte) (string, error) {
+	var req struct {
+		M [][]float64 `json:"m"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	return serve.WeightFingerprint(req.M), nil
+}
+
+// conv2dKey fingerprints the kernel stack (the conv weights), flattened one
+// kernel per row: the backend im2cols the kernels into exactly such a
+// matrix before programming the mesh.
+func conv2dKey(body []byte) (string, error) {
+	var req struct {
+		Kernels [][][][]float64 `json:"kernels"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	rows := make([][]float64, len(req.Kernels))
+	for k, kern := range req.Kernels {
+		var row []float64
+		for _, ch := range kern {
+			for _, r := range ch {
+				row = append(row, r...)
+			}
+		}
+		rows[k] = row
+	}
+	return serve.WeightFingerprint(rows), nil
+}
+
+// inferKey routes by model name: every backend derives identical model
+// weights from the shared seed, so a model's block fingerprints — and
+// therefore its cached programs — are the same on whichever node repeatedly
+// serves it.
+func inferKey(body []byte) (string, error) {
+	var req struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", err
+	}
+	return "model:" + req.Model, nil
+}
+
+// --- request path -----------------------------------------------------------
+
+// handleProxy builds the handler for one proxied endpoint: bound the body,
+// derive the routing key, and forward.
+func (rt *Router) handleProxy(endpoint, path string, keyFn func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(serve.HeaderRequestID)
+		if reqID == "" {
+			reqID = serve.NewRequestID()
+		}
+		w.Header().Set(serve.HeaderRequestID, reqID)
+
+		r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				rt.answerError(w, endpoint, start, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+				return
+			}
+			rt.answerError(w, endpoint, start, http.StatusBadRequest, "reading request body: "+err.Error())
+			return
+		}
+		key, err := keyFn(body)
+		if err != nil {
+			// Unroutable means unparseable: answer the structured 400 here
+			// rather than wasting a backend round trip.
+			rt.answerError(w, endpoint, start, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+		rt.budget.onRequest()
+		rt.forward(w, r, endpoint, path, key, body, reqID, start)
+	}
+}
+
+// forward walks the preference order: definitive answers (2xx/4xx) relay
+// immediately, 503s spill to the next candidate for free, transport errors
+// and 5xxs retry while the per-request cap and the cluster retry budget
+// allow. When every candidate is saturated the most recent 503 — with its
+// Retry-After — propagates to the client.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, path, key string, body []byte, reqID string, start time.Time) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+
+	order, home := rt.pool.candidates(key)
+	if rt.cfg.Policy == PolicyRandom {
+		rt.shuffle(order)
+	}
+	if len(order) == 0 {
+		rt.met.add(&rt.met.noBackend, 1)
+		w.Header().Set("Retry-After", rt.retryAfterSecs())
+		rt.answerError(w, endpoint, start, http.StatusServiceUnavailable, "no healthy backend available, retry later")
+		return
+	}
+
+	var last503 *attemptResult
+	retries := 0
+	for idx := 0; idx < len(order); {
+		var res attemptResult
+		consumed := 1
+		if idx == 0 && rt.cfg.HedgeDelay > 0 && len(order) > 1 {
+			res, consumed = rt.hedgedSend(ctx, order[0], order[1], path, body, reqID)
+		} else {
+			res = rt.send(ctx, order[idx], path, body, reqID)
+		}
+		switch {
+		case res.err != nil:
+			if ctx.Err() != nil {
+				rt.answerError(w, endpoint, start, http.StatusGatewayTimeout, "deadline exceeded")
+				return
+			}
+			if retries < rt.cfg.MaxRetries && idx+consumed < len(order) && rt.budget.take() {
+				retries++
+				rt.met.add(&rt.met.retries, 1)
+				idx += consumed
+				continue
+			}
+			rt.answerError(w, endpoint, start, http.StatusBadGateway, "backend unreachable: "+res.err.Error())
+			return
+		case res.status == http.StatusServiceUnavailable:
+			// Backpressure, not failure: spill to the next-preferred healthy
+			// node without consuming retry budget.
+			rt.met.add(&rt.met.spills, 1)
+			last503 = &res
+			idx += consumed
+			continue
+		case res.status >= 500:
+			if retries < rt.cfg.MaxRetries && idx+consumed < len(order) && rt.budget.take() {
+				retries++
+				rt.met.add(&rt.met.retries, 1)
+				idx += consumed
+				continue
+			}
+			rt.relay(w, endpoint, start, &res, home)
+			return
+		default:
+			rt.relay(w, endpoint, start, &res, home)
+			return
+		}
+	}
+	if last503 != nil {
+		rt.relay(w, endpoint, start, last503, home)
+		return
+	}
+	w.Header().Set("Retry-After", rt.retryAfterSecs())
+	rt.answerError(w, endpoint, start, http.StatusServiceUnavailable, "all backends unavailable, retry later")
+}
+
+// attemptResult is one backend's answer (or transport failure).
+type attemptResult struct {
+	b      *backend
+	status int
+	header http.Header
+	body   []byte
+	err    error
+}
+
+// definitive reports whether the attempt settles the request: an answer
+// that is neither backpressure nor a server-side failure.
+func (a *attemptResult) definitive() bool {
+	return a.err == nil && a.status != http.StatusServiceUnavailable && a.status < 500
+}
+
+// send performs one proxied attempt and feeds the passive health signals:
+// transport errors and 5xx count against the backend, 503 counts as alive
+// (the node answered; it is saturated, not sick), 2xx/4xx count as healthy.
+func (rt *Router) send(ctx context.Context, b *backend, path string, body []byte, reqID string) attemptResult {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	b.mu.Lock()
+	b.requests++
+	b.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.name+path, bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{b: b, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderRequestID, reqID)
+
+	resp, err := rt.client.Do(req)
+	now := time.Now()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// A hedge race or client disconnect cancelled this arm; the
+			// backend did nothing wrong, so its health ledger is untouched.
+			return attemptResult{b: b, err: err}
+		}
+		b.mu.Lock()
+		b.errors++
+		b.mu.Unlock()
+		b.observeFailure(rt.pool.cfg, now)
+		return attemptResult{b: b, err: err}
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return attemptResult{b: b, err: err}
+		}
+		b.mu.Lock()
+		b.errors++
+		b.mu.Unlock()
+		b.observeFailure(rt.pool.cfg, now)
+		return attemptResult{b: b, err: err}
+	}
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		b.mu.Lock()
+		b.spills++
+		b.mu.Unlock()
+		b.observeSuccess(rt.pool.cfg, now)
+	case resp.StatusCode >= 500:
+		b.mu.Lock()
+		b.errors++
+		b.mu.Unlock()
+		b.observeFailure(rt.pool.cfg, now)
+	default:
+		if n := resp.Header.Get(serve.HeaderNode); n != "" {
+			b.mu.Lock()
+			b.node = n
+			b.mu.Unlock()
+		}
+		b.observeSuccess(rt.pool.cfg, now)
+	}
+	return attemptResult{b: b, status: resp.StatusCode, header: resp.Header, body: rb}
+}
+
+// hedgedSend races the primary against a duplicate launched on the runner-up
+// after HedgeDelay, returning the first definitive answer. consumed reports
+// how many candidates were actually engaged (1 if the primary settled — or
+// failed — before the hedge launched), so forward's walk down the
+// preference order never skips an untried backend.
+func (rt *Router) hedgedSend(ctx context.Context, b0, b1 *backend, path string, body []byte, reqID string) (attemptResult, int) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan attemptResult, 2)
+	go func() { ch <- rt.send(hctx, b0, path, body, reqID) }()
+
+	timer := time.NewTimer(rt.cfg.HedgeDelay)
+	defer timer.Stop()
+	launched := false
+	var first *attemptResult
+	for {
+		select {
+		case res := <-ch:
+			if res.definitive() {
+				if launched && res.b == b1 {
+					rt.met.add(&rt.met.hedgeWins, 1)
+				}
+				consumed := 1
+				if launched {
+					consumed = 2
+				}
+				return res, consumed
+			}
+			if !launched {
+				return res, 1
+			}
+			if first == nil {
+				first = &res
+				continue // other arm still in flight
+			}
+			// Both arms failed to settle: prefer reporting a 503 so forward
+			// keeps spilling rather than surfacing a transport error.
+			if first.err == nil {
+				return *first, 2
+			}
+			return res, 2
+		case <-timer.C:
+			launched = true
+			rt.met.add(&rt.met.hedges, 1)
+			go func() { ch <- rt.send(hctx, b1, path, body, reqID) }()
+		}
+	}
+}
+
+// relay writes a backend's answer through to the client, preserving the
+// serving node's identity and any backpressure hint.
+func (rt *Router) relay(w http.ResponseWriter, endpoint string, start time.Time, res *attemptResult, home *backend) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if n := res.header.Get(serve.HeaderNode); n != "" {
+		w.Header().Set(serve.HeaderNode, n)
+	}
+	if res.status == http.StatusServiceUnavailable {
+		ra := res.header.Get("Retry-After")
+		if ra == "" {
+			ra = rt.retryAfterSecs()
+		}
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(res.status)
+	if _, err := w.Write(res.body); err != nil {
+		log.Printf("cluster: relaying response: %v", err)
+	}
+	if res.status < 500 && res.status != http.StatusServiceUnavailable {
+		rt.met.observeRouted(res.b == home)
+	}
+	rt.met.observeRequest(endpoint, time.Since(start), res.status >= 400)
+}
+
+// shuffle randomizes the candidate order (PolicyRandom, the benchmark's
+// control arm).
+func (rt *Router) shuffle(order []*backend) {
+	rt.rndMu.Lock()
+	rt.rnd.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	rt.rndMu.Unlock()
+}
+
+func (rt *Router) retryAfterSecs() string {
+	secs := int(rt.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (rt *Router) answerError(w http.ResponseWriter, endpoint string, start time.Time, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+	rt.met.observeRequest(endpoint, time.Since(start), true)
+}
+
+// --- observability ----------------------------------------------------------
+
+// RouterHealth is the router's /healthz body.
+type RouterHealth struct {
+	Status        string          `json:"status"` // ok | degraded | down
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Policy        string          `json:"policy"`
+	Draining      bool            `json:"draining"`
+	Backends      []BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one backend's health line in the router's /healthz.
+type BackendHealth struct {
+	Name                string `json:"name"`
+	Node                string `json:"node,omitempty"`
+	State               string `json:"state"`
+	Degraded            bool   `json:"degraded,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.drainMu.Lock()
+	draining := rt.draining
+	rt.drainMu.Unlock()
+	resp := RouterHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(rt.met.start).Seconds(),
+		Policy:        rt.cfg.Policy,
+		Draining:      draining,
+	}
+	routable := 0
+	for _, b := range rt.pool.backends {
+		s := b.snapshot()
+		resp.Backends = append(resp.Backends, BackendHealth{
+			Name:                s.Name,
+			Node:                s.Node,
+			State:               s.State.String(),
+			Degraded:            s.Degraded,
+			ConsecutiveFailures: s.ConsecFails,
+		})
+		if s.State != StateEjected {
+			routable++
+		}
+		if s.State != StateActive || s.Degraded {
+			resp.Status = "degraded"
+		}
+	}
+	if routable == 0 {
+		resp.Status = "down"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var backends []BackendStats
+	for _, b := range rt.pool.backends {
+		backends = append(backends, b.snapshot())
+	}
+	rt.met.write(w, backends, rt.budget.available())
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		log.Printf("cluster: encoding response: %v", err)
+	}
+}
+
+// --- retry budget -----------------------------------------------------------
+
+// retryBudget is the cluster-wide token bucket that bounds retry
+// amplification: live traffic refills it (RetryBudget tokens per admitted
+// request, capped at RetryBurst) and every retry spends one token, so
+// during a brown-out the fleet retries at a bounded fraction of offered
+// load instead of multiplying it.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio, burst float64) *retryBudget {
+	return &retryBudget{tokens: burst, max: burst, ratio: ratio}
+}
+
+func (b *retryBudget) onRequest() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+func (b *retryBudget) available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -23,6 +23,12 @@ type Config struct {
 	// Addr is the listen address, e.g. ":8080".
 	Addr string
 
+	// NodeID identifies this flumend instance in a cluster: it is echoed on
+	// every response as the X-Flumen-Node header so the router (and clients
+	// chasing a cross-node failure) can tell which backend actually served a
+	// request. Empty picks a random "flumend-xxxxxxxx" identity.
+	NodeID string
+
 	// Ports and BlockSize configure the underlying accelerator fabric
 	// (see flumen.NewAccelerator).
 	Ports     int
@@ -149,6 +155,9 @@ func (c *Config) Validate() error {
 	}
 	if c.InferSeed == 0 {
 		c.InferSeed = d.InferSeed
+	}
+	if c.NodeID == "" {
+		c.NodeID = "flumend-" + randomHex(4)
 	}
 	if c.Ports < 4 || c.Ports%4 != 0 {
 		return fmt.Errorf("serve: ports must be a positive multiple of 4, got %d", c.Ports)

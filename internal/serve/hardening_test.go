@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDecodeHardening exercises the request-body hardening on every
+// endpoint: malformed, empty, mistyped, trailing-garbage, and oversized
+// bodies must come back as structured {"error": ...} JSON with the right
+// status — never a bare 500 or a hung connection.
+func TestDecodeHardening(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBodyBytes = 1 << 10
+	_, hs := newTestServer(t, cfg)
+
+	big := `{"m": [[` + strings.Repeat("1,", 2000) + `1]]}`
+	cases := []struct {
+		name    string
+		path    string
+		body    string
+		status  int
+		errLike string
+	}{
+		{"empty body", "/v1/matmul", "", http.StatusBadRequest, "empty request body"},
+		{"truncated json", "/v1/matmul", `{"m": [[1,`, http.StatusBadRequest, "malformed JSON"},
+		{"wrong type", "/v1/matmul", `{"m": "not a matrix"}`, http.StatusBadRequest, "malformed JSON"},
+		{"trailing data", "/v1/matmul", `{"m": [[1]], "x": [[1]]} {"again": true}`, http.StatusBadRequest, "trailing data"},
+		{"oversized", "/v1/matmul", big, http.StatusRequestEntityTooLarge, "exceeds"},
+		{"empty conv2d", "/v1/conv2d", "", http.StatusBadRequest, "empty request body"},
+		{"trailing conv2d", "/v1/conv2d", `{} []`, http.StatusBadRequest, "trailing data"},
+		{"empty infer", "/v1/infer", "", http.StatusBadRequest, "empty request body"},
+		{"oversized infer", "/v1/infer", big, http.StatusRequestEntityTooLarge, "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			var er errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatalf("error body is not structured JSON: %v", err)
+			}
+			if !strings.Contains(er.Error, tc.errLike) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.errLike)
+			}
+		})
+	}
+}
+
+// TestRequestIdentityHeaders checks the cluster-facing identity contract:
+// X-Flumen-Node always names the serving instance, and X-Request-ID is
+// echoed when the caller supplies one, minted when it does not — on
+// successes and on errors alike.
+func TestRequestIdentityHeaders(t *testing.T) {
+	cfg := testConfig()
+	cfg.NodeID = "node-under-test"
+	s, hs := newTestServer(t, cfg)
+	if s.NodeID() != "node-under-test" {
+		t.Fatalf("NodeID() = %q, want node-under-test", s.NodeID())
+	}
+
+	body, _ := json.Marshal(MatMulRequest{M: [][]float64{{1, 0}, {0, 1}}, X: [][]float64{{1}, {2}}})
+
+	// Caller-supplied ID is echoed verbatim.
+	req, _ := http.NewRequest("POST", hs.URL+"/v1/matmul", bytes.NewReader(body))
+	req.Header.Set(HeaderRequestID, "caller-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(HeaderRequestID); got != "caller-chose-this" {
+		t.Errorf("%s = %q, want caller-chose-this", HeaderRequestID, got)
+	}
+	if got := resp.Header.Get(HeaderNode); got != "node-under-test" {
+		t.Errorf("%s = %q, want node-under-test", HeaderNode, got)
+	}
+
+	// No ID supplied: the server mints distinct ones.
+	ids := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(hs.URL+"/v1/matmul", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		id := resp.Header.Get(HeaderRequestID)
+		if id == "" {
+			t.Fatal("server did not mint a request ID")
+		}
+		ids[id] = true
+	}
+	if len(ids) != 2 {
+		t.Errorf("minted IDs are not unique: %v", ids)
+	}
+
+	// Identity survives the error path too.
+	req, _ = http.NewRequest("POST", hs.URL+"/v1/matmul", strings.NewReader("{"))
+	req.Header.Set(HeaderRequestID, "bad-request-id")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderRequestID); got != "bad-request-id" {
+		t.Errorf("error path dropped %s: got %q", HeaderRequestID, got)
+	}
+	if got := resp.Header.Get(HeaderNode); got != "node-under-test" {
+		t.Errorf("error path dropped %s: got %q", HeaderNode, got)
+	}
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request identity: every response names the node that served it
+// (X-Flumen-Node) and carries a request ID (X-Request-ID) that is accepted
+// from the client — or the cluster router in front of us — and generated
+// here otherwise. The pair is what makes a cross-node failure debuggable:
+// the router logs (request ID, node) for every attempt, so a bad response
+// can be chased to the exact backend that produced it.
+
+const (
+	// HeaderRequestID carries the end-to-end request correlation ID.
+	HeaderRequestID = "X-Request-ID"
+	// HeaderNode names the flumend instance that served the response.
+	HeaderNode = "X-Flumen-Node"
+)
+
+// reqSeq disambiguates request IDs generated within one process.
+var reqSeq atomic.Uint64
+
+// randomHex returns n random bytes hex-encoded (2n characters).
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failing is unheard of; fall back to the sequence so
+		// identity stays unique within the process rather than crashing.
+		return fmt.Sprintf("%08x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewRequestID mints a fresh correlation ID: random prefix (unique across
+// processes) plus a process-local sequence number (unique within one).
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", randomHex(6), reqSeq.Add(1))
+}

@@ -174,12 +174,16 @@ func validateConv2D(req *Conv2DRequest) error {
 	return nil
 }
 
-// weightFingerprint is an exact content key for a weight matrix — its
+// WeightFingerprint is an exact content key for a weight matrix — its
 // dimensions plus the IEEE-754 bits of every element — mirroring the
 // engine's block fingerprint. Collision-free by construction, so two
 // requests coalesce only when their weights are bit-identical and batched
 // execution is guaranteed bitwise-equal to serving them separately.
-func weightFingerprint(m [][]float64) string {
+//
+// Exported because the cluster router keys its rendezvous hashing on the
+// same raw bits: the node that owns a fingerprint is the node whose
+// weight-program cache already holds the compiled plan.
+func WeightFingerprint(m [][]float64) string {
 	rows := len(m)
 	cols := 0
 	if rows > 0 {

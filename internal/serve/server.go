@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -21,12 +22,13 @@ import (
 // batching scheduler. Responsibilities split cleanly: the handler owns the
 // client connection and its deadline; the scheduler owns the fabric.
 type Server struct {
-	cfg    Config
-	acc    *flumen.Accelerator
-	sched  *scheduler
-	met    *metrics
-	models map[string]*inferModel
-	mux    *http.ServeMux
+	cfg     Config
+	acc     *flumen.Accelerator
+	sched   *scheduler
+	met     *metrics
+	models  map[string]*inferModel
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with the identity middleware
 
 	httpSrv *http.Server
 	lis     net.Listener
@@ -96,12 +98,34 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	s.handler = s.identity(s.mux)
+	s.httpSrv = &http.Server{Handler: s.handler}
 	return s, nil
 }
 
-// Handler exposes the route table (used directly by tests; Run wraps it in
-// a managed listener).
-func (s *Server) Handler() http.Handler { return s.mux }
+// identity stamps every response with this node's name and the request's
+// correlation ID (client-supplied X-Request-ID, minted here when absent),
+// so multi-node deployments can attribute any response — success or
+// failure — to the backend that produced it.
+func (s *Server) identity(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(HeaderRequestID)
+		if id == "" {
+			id = NewRequestID()
+			r.Header.Set(HeaderRequestID, id)
+		}
+		w.Header().Set(HeaderRequestID, id)
+		w.Header().Set(HeaderNode, s.cfg.NodeID)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Handler exposes the route table wrapped in the identity middleware (used
+// directly by tests; Run wraps it in a managed listener).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// NodeID returns this instance's cluster identity (the X-Flumen-Node value).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
 
 // Accelerator exposes the backing accelerator's public surface (read-only
 // observation, e.g. Stats()).
@@ -141,7 +165,6 @@ func (s *Server) Run(ctx context.Context) error {
 			return err
 		}
 	}
-	s.httpSrv = &http.Server{Handler: s.mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- s.httpSrv.Serve(s.lis) }()
 
@@ -161,6 +184,22 @@ func (s *Server) Run(ctx context.Context) error {
 		return shutdownErr
 	}
 	return nil
+}
+
+// Close kills the server abruptly: the listener and every open connection
+// are torn down and in-flight engine work is revoked, with none of Run's
+// graceful drain. This is the failure-injection hook the cluster harness
+// uses to simulate a crashed node (a SIGKILL, not a SIGTERM); Run returns
+// http.ErrServerClosed on the killed instance.
+func (s *Server) Close() error {
+	err := s.httpSrv.Close()
+	// Drain with an already-expired context: admission closes immediately
+	// and the scheduler-lifetime context is revoked so queued and in-flight
+	// work aborts instead of finishing.
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.sched.drain(done)
+	return err
 }
 
 // reqContext derives the request's execution context: the client connection
@@ -270,7 +309,7 @@ func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
 		ctx:      ctx,
 		endpoint: "matmul",
 		enq:      time.Now(),
-		key:      weightFingerprint(req.M),
+		key:      WeightFingerprint(req.M),
 		m:        req.M,
 		x:        req.X,
 		done:     make(chan jobResult, 1),
@@ -369,17 +408,36 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// decode reads and unmarshals the request body, answering 400/413 itself.
+// decode reads and unmarshals the request body, answering 400/413 itself:
+// every malformed body — empty, syntactically broken, wrongly typed,
+// carrying trailing data — gets a structured {"error": ...} JSON response,
+// never a bare 500, and oversized bodies are cut off at MaxBodyBytes with
+// a 413 before they can balloon the heap.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		if errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "malformed JSON: empty request body")
 			return false
 		}
 		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: trailing data after request object")
 		return false
 	}
 	return true

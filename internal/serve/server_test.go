@@ -272,7 +272,7 @@ func TestBatcherCoalescesSharedWeights(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(7))
 	m := testMatrix(rng, 16, 16)
-	key := weightFingerprint(m)
+	key := WeightFingerprint(m)
 	const members = 3
 	jobs := make([]*job, members)
 	for i := range jobs {
@@ -602,23 +602,23 @@ func TestWeightFingerprint(t *testing.T) {
 	a := [][]float64{{1, 2}, {3, 4}}
 	b := [][]float64{{1, 2}, {3, 4}}
 	c := [][]float64{{1, 2}, {3, 5}}
-	if weightFingerprint(a) != weightFingerprint(b) {
+	if WeightFingerprint(a) != WeightFingerprint(b) {
 		t.Fatal("identical matrices fingerprint differently")
 	}
-	if weightFingerprint(a) == weightFingerprint(c) {
+	if WeightFingerprint(a) == WeightFingerprint(c) {
 		t.Fatal("different matrices share a fingerprint")
 	}
 	// Shape is part of the key: a 1×4 and a 2×2 with the same elements
 	// must not collide.
 	d := [][]float64{{1, 2, 3, 4}}
-	if weightFingerprint(a) == weightFingerprint(d) {
+	if WeightFingerprint(a) == WeightFingerprint(d) {
 		t.Fatal("shape not encoded in fingerprint")
 	}
 	// Signed zero is a distinct bit pattern and must stay distinct: the
 	// engine's block fingerprints are bit-exact, so coalescing must be too.
 	z1 := [][]float64{{0.0}}
 	z2 := [][]float64{{math.Copysign(0, -1)}}
-	if weightFingerprint(z1) == weightFingerprint(z2) {
+	if WeightFingerprint(z1) == WeightFingerprint(z2) {
 		t.Fatal("±0 collapsed into one fingerprint")
 	}
 }
