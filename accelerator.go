@@ -274,6 +274,91 @@ func (a *Accelerator) ProgramCacheStats() CacheStats {
 // model).
 func (a *Accelerator) EnergyPJ() float64 { return a.meter.EnergyPJ() }
 
+// PrewarmWeights compiles every block program of weight matrix m into the
+// weight-program cache — including each program's compiled propagation plan
+// when the batched kernel path is enabled — and pins the entries against
+// LRU eviction. A later MatMul/MatVec/Conv2D against the same raw bits then
+// pays neither the SVD + Clements decomposition nor the plan compile on its
+// first request: this is the model registry's warm-start hook. Returns the
+// number of block programs pinned (a matrix whose blocks repeat pins the
+// shared entry once per occurrence; UnpinWeights is exactly symmetric).
+// With caching disabled the call is a no-op.
+//
+// Prewarming performs no physical programming and meters no energy: it
+// fills the compilation cache, it does not touch the fabric.
+func (a *Accelerator) PrewarmWeights(m [][]float64) (int, error) {
+	if len(m) == 0 || len(m[0]) == 0 {
+		return 0, fmt.Errorf("flumen: empty matrix")
+	}
+	for i, row := range m {
+		if len(row) != len(m[0]) {
+			return 0, fmt.Errorf("flumen: ragged matrix: row %d has %d columns, row 0 has %d", i, len(row), len(m[0]))
+		}
+	}
+	a.mu.RLock()
+	cache := a.cache
+	compiled := a.compiled
+	a.mu.RUnlock()
+	if cache == nil {
+		return 0, nil
+	}
+	n := a.blockSize
+	pm := mat.PadTo(realDense(m), n)
+	pinned := 0
+	for c := 0; c < pm.Cols()/n; c++ {
+		for r := 0; r < pm.Rows()/n; r++ {
+			blk := mat.Block(pm, n, r, c)
+			bp, err := a.programFor(blk, cache)
+			if err != nil {
+				return pinned, err
+			}
+			if compiled {
+				if _, compiledNow := bp.Plan(); compiledNow {
+					a.kernelCompiles.Add(1)
+				} else {
+					a.kernelReuses.Add(1)
+				}
+			}
+			if cache.pin(blk.Fingerprint()) {
+				pinned++
+			}
+		}
+	}
+	return pinned, nil
+}
+
+// UnpinWeights releases the pins PrewarmWeights took for matrix m (one per
+// block occurrence), returning the entries to normal LRU lifetime. Reports
+// how many pins were released; weights that were never prewarmed — or a
+// cache that has since been resized, which drops all pins — release zero.
+func (a *Accelerator) UnpinWeights(m [][]float64) int {
+	if len(m) == 0 || len(m[0]) == 0 {
+		return 0
+	}
+	for _, row := range m {
+		if len(row) != len(m[0]) {
+			return 0
+		}
+	}
+	a.mu.RLock()
+	cache := a.cache
+	a.mu.RUnlock()
+	if cache == nil {
+		return 0
+	}
+	n := a.blockSize
+	pm := mat.PadTo(realDense(m), n)
+	released := 0
+	for c := 0; c < pm.Cols()/n; c++ {
+		for r := 0; r < pm.Rows()/n; r++ {
+			if cache.unpin(mat.Block(pm, n, r, c).Fingerprint()) {
+				released++
+			}
+		}
+	}
+	return released
+}
+
 // AttachFabric places the accelerator's partitions under the given
 // arbiter's control: every MatMul/Conv2D work item then runs under a
 // compute lease acquired from the arbiter, blocks while the fabric carries

@@ -12,6 +12,7 @@
 //	flumen-bench -faults [-faultsout file] [-smoke]
 //	flumen-bench -kernel [-kernelout file] [-smoke]
 //	flumen-bench -cluster [-clusterout file] [-smoke]
+//	flumen-bench -registry [-registryout file] [-smoke]
 //
 // With no selector flags all three tables print. -scale shrinks the
 // workloads by the given linear factor for quick runs. -engine instead
@@ -36,7 +37,13 @@
 // routing against random routing (responses bitwise-checked against a
 // single-node reference), writing BENCH_cluster.json; -smoke shrinks the
 // fleet and fails unless affinity wins, responses match, and the router
-// drains cleanly.
+// drains cleanly. -registry benchmarks the model registry against a
+// disk-backed flumend: by-name versus inline-weights request throughput,
+// latency and request bytes (bitwise-checked), and cold-compile versus
+// prewarmed first-request latency across a kill + restart on the same
+// store, writing BENCH_registry.json; -smoke shrinks the run and fails
+// unless responses match bitwise, by-name requests shrink materially, and
+// the post-restart first request adds zero cache misses.
 package main
 
 import (
@@ -68,9 +75,18 @@ func main() {
 	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output file for -kernel results")
 	clusterBench := flag.Bool("cluster", false, "benchmark affinity vs random routing over in-process flumend backends")
 	clusterOut := flag.String("clusterout", "BENCH_cluster.json", "output file for -cluster results")
+	registryBench := flag.Bool("registry", false, "benchmark by-name vs inline-weights serving and registry warm-start")
+	registryOut := flag.String("registryout", "BENCH_registry.json", "output file for -registry results")
 	smoke := flag.Bool("smoke", false, "with -faults/-kernel/-cluster: shrink the sweep and fail on acceptance violations")
 	flag.Parse()
 
+	if *registryBench {
+		if err := runRegistryBench(*registryOut, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *clusterBench {
 		if err := runClusterBench(*clusterOut, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, err)

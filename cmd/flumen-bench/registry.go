@@ -1,0 +1,282 @@
+package main
+
+// flumen-bench -registry: measure what the model registry is worth.
+//
+// The experiment runs one real flumend (the internal/cluster harness, store
+// on disk) and compares serving a weight matrix two ways: inline — every
+// request carries the full matrix — and by-name, where the matrix was
+// registered once and requests reference "bench-w@v1". Both arms must be
+// bitwise identical; the by-name arm should move a small fraction of the
+// bytes. The second half measures warm-start: the first request ever (cold
+// process, compile on the request path) against the first request after a
+// kill + restart on the same store, where the registry's prewarmer has
+// already compiled and pinned the model's programs before the listener
+// answers — that request must add zero cache misses.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"flumen"
+	"flumen/internal/cluster"
+	"flumen/internal/registry"
+	"flumen/internal/serve"
+)
+
+type registryArm struct {
+	Mode          string  `json:"mode"`
+	Requests      int     `json:"requests"`
+	Seconds       float64 `json:"seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	RequestBytes  int     `json:"request_bytes"`
+	BitwiseEqual  bool    `json:"bitwise_equal"`
+}
+
+type registryResult struct {
+	Dim              int         `json:"matrix_dim"`
+	NRHS             int         `json:"nrhs"`
+	Smoke            bool        `json:"smoke"`
+	Inline           registryArm `json:"inline"`
+	ByName           registryArm `json:"by_name"`
+	BytesReduction   float64     `json:"request_bytes_reduction_x"`
+	ColdFirstMS      float64     `json:"cold_first_request_ms"`
+	PrewarmedFirstMS float64     `json:"prewarmed_first_request_ms"`
+	FirstSpeedup     float64     `json:"first_request_speedup_x"`
+	RestartMissDelta int64       `json:"restart_first_request_miss_delta"`
+	PinnedPrograms   int         `json:"pinned_programs"`
+	PrewarmHit       bool        `json:"prewarm_hit"`
+}
+
+func runRegistryBench(out string, smoke bool) error {
+	dim, nrhs, requests := 64, 4, 200
+	if smoke {
+		dim, nrhs, requests = 32, 2, 48
+	}
+
+	serveCfg := serve.DefaultConfig()
+	serveCfg.Ports = 32
+	serveCfg.BlockSize = 16
+	serveCfg.QueueDepth = 512
+	storeDir, err := os.MkdirTemp("", "flumen-registry-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	serveCfg.StoreDir = storeDir
+
+	// Deterministic workload and a single-accelerator reference answer.
+	rng := rand.New(rand.NewSource(11))
+	m := randDense(rng, dim, dim)
+	x := randDense(rng, dim, nrhs)
+	ref, err := flumen.NewAccelerator(serveCfg.Ports, serveCfg.BlockSize)
+	if err != nil {
+		return err
+	}
+	want, err := ref.MatMul(m, x)
+	if err != nil {
+		return err
+	}
+
+	h, err := cluster.StartBackends(1, serveCfg)
+	if err != nil {
+		return err
+	}
+	defer h.Stop()
+	base := h.URLs()[0]
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+
+	res := registryResult{Dim: dim, NRHS: nrhs, Smoke: smoke}
+	fmt.Printf("=== registry bench: %d×%d matmul, %d rhs, %d requests/arm, store %s ===\n",
+		dim, dim, nrhs, requests, storeDir)
+
+	inlineBody, _ := json.Marshal(serve.MatMulRequest{M: m, X: x})
+	byNameBody, _ := json.Marshal(serve.MatMulRequest{Model: "bench-w@v1", X: x})
+
+	post := func(body []byte) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/matmul", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		rb, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d: %s", resp.StatusCode, rb)
+		}
+		var mr serve.MatMulResponse
+		if err := json.Unmarshal(rb, &mr); err != nil {
+			return 0, err
+		}
+		if !bitwiseEqual2D(mr.C, want) {
+			return 0, errBitwise
+		}
+		return time.Since(start), nil
+	}
+
+	// Cold first request: fresh process, empty cache, weights inline — the
+	// SVD + Clements compile happens on the request path.
+	coldFirst, err := post(inlineBody)
+	if err != nil {
+		return fmt.Errorf("registry bench cold request: %w", err)
+	}
+	res.ColdFirstMS = coldFirst.Seconds() * 1e3
+
+	// Register the matrix as a named model and wait for the background
+	// prewarmer to compile-and-pin it (here a cache hit, but the pin is what
+	// survives eviction pressure).
+	spec := registry.Spec{Name: "bench-w", Version: "v1", Kind: registry.KindMatMul, M: m}
+	if err := registerModel(client, base, &spec); err != nil {
+		return err
+	}
+	if err := waitPrewarmed(client, base, 1, 10*time.Second); err != nil {
+		return err
+	}
+	res.PinnedPrograms = h.Backend(0).Accelerator().Stats().Cache.Pinned
+
+	// Throughput arms: identical answers, wildly different request sizes.
+	for _, arm := range []struct {
+		mode string
+		body []byte
+	}{{"inline", inlineBody}, {"by_name", byNameBody}} {
+		a := registryArm{Mode: arm.mode, Requests: requests, RequestBytes: len(arm.body), BitwiseEqual: true}
+		var total time.Duration
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			d, err := post(arm.body)
+			if err == errBitwise {
+				a.BitwiseEqual = false
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("registry bench %s arm: %w", arm.mode, err)
+			}
+			total += d
+		}
+		a.Seconds = time.Since(start).Seconds()
+		if a.Seconds > 0 {
+			a.ThroughputRPS = float64(requests) / a.Seconds
+		}
+		a.MeanLatencyMS = total.Seconds() * 1e3 / float64(requests)
+		fmt.Printf("%-8s %6.1f req/s  mean %6.2f ms  %7d bytes/request  bitwise=%v\n",
+			a.Mode, a.ThroughputRPS, a.MeanLatencyMS, a.RequestBytes, a.BitwiseEqual)
+		if arm.mode == "inline" {
+			res.Inline = a
+		} else {
+			res.ByName = a
+		}
+	}
+	if res.ByName.RequestBytes > 0 {
+		res.BytesReduction = float64(res.Inline.RequestBytes) / float64(res.ByName.RequestBytes)
+	}
+
+	// Warm-start: kill the node (no drain), restart on the same store, and
+	// let the registry reload + prewarm before the first request. That
+	// request must find every block program already compiled and pinned.
+	if err := h.Kill(0); err != nil {
+		return err
+	}
+	if err := h.Restart(0); err != nil {
+		return err
+	}
+	if err := waitPrewarmed(client, base, 1, 10*time.Second); err != nil {
+		return err
+	}
+	missesBefore := h.Backend(0).Accelerator().Stats().Cache.Misses
+	warmFirst, err := post(byNameBody)
+	if err != nil {
+		return fmt.Errorf("registry bench prewarmed request: %w", err)
+	}
+	res.PrewarmedFirstMS = warmFirst.Seconds() * 1e3
+	res.RestartMissDelta = h.Backend(0).Accelerator().Stats().Cache.Misses - missesBefore
+	res.PrewarmHit = res.RestartMissDelta == 0
+	if res.PrewarmedFirstMS > 0 {
+		res.FirstSpeedup = res.ColdFirstMS / res.PrewarmedFirstMS
+	}
+	if p := h.Backend(0).Accelerator().Stats().Cache.Pinned; p > res.PinnedPrograms {
+		res.PinnedPrograms = p
+	}
+
+	fmt.Printf("request bytes: %d inline vs %d by-name (%.0f× reduction)\n",
+		res.Inline.RequestBytes, res.ByName.RequestBytes, res.BytesReduction)
+	fmt.Printf("first request: %.2f ms cold compile vs %.2f ms prewarmed after restart (%.1f×, miss delta %d, %d pinned programs)\n",
+		res.ColdFirstMS, res.PrewarmedFirstMS, res.FirstSpeedup, res.RestartMissDelta, res.PinnedPrograms)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+
+	if smoke {
+		switch {
+		case !res.Inline.BitwiseEqual || !res.ByName.BitwiseEqual:
+			return fmt.Errorf("registry smoke: by-name responses diverged from the inline reference")
+		case res.BytesReduction <= 2:
+			return fmt.Errorf("registry smoke: by-name requests are not materially smaller (%.1f×)", res.BytesReduction)
+		case res.RestartMissDelta != 0:
+			return fmt.Errorf("registry smoke: first by-name request after restart compiled %d programs (want 0: prewarm failed)", res.RestartMissDelta)
+		case res.PinnedPrograms <= 0:
+			return fmt.Errorf("registry smoke: no programs pinned after prewarm")
+		}
+		fmt.Println("registry smoke: PASS")
+	}
+	return nil
+}
+
+// registerModel POSTs a registry spec and insists on 200/201.
+func registerModel(client *http.Client, base string, spec *registry.Spec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rb, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("register %s: status %d: %s", spec.Ref(), resp.StatusCode, rb)
+	}
+	return nil
+}
+
+// waitPrewarmed polls /healthz until the registry reports the expected model
+// count with nothing left in the prewarm queue.
+func waitPrewarmed(client *http.Client, base string, models int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			var hr serve.HealthResponse
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if json.Unmarshal(body, &hr) == nil && hr.RegistryModels == models && hr.PrewarmPending == 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("registry bench: prewarm did not settle within %s", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -3,9 +3,16 @@
 // sensitivity by under-provisioning the WDM link (16, 32, 64 wavelengths ⇔
 // 160, 320, 640 Gbps at 10 Gbps modulation).
 //
+// It also carries the registry management subcommands:
+//
+//	flumen-util models {register|list|rm} [flags]
+//
 // Usage:
 //
 //	flumen-util [-benchmark name] [-scale n] [-trace]
+//	flumen-util models register -server http://host:9090 [-file spec.json]
+//	flumen-util models list -server http://host:9090
+//	flumen-util models rm -server http://host:9090 name@version
 package main
 
 import (
@@ -19,6 +26,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "models" {
+		os.Exit(runModels(os.Args[2:]))
+	}
 	benchFlag := flag.String("benchmark", "", "ImageBlur | VGG16FC (default: both)")
 	scale := flag.Int("scale", 1, "linear workload shrink factor")
 	trace := flag.Bool("trace", false, "print the windowed utilization trace")

@@ -4,12 +4,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/matmul   {"m": [[...]], "x": [[...]], "timeout_ms": 0}
-//	POST /v1/conv2d   {"input": [[[...]]], "kernels": [[[[...]]]], "stride": 1, "pad": 0}
-//	POST /v1/infer    {"model": "tiny-cnn", "volume": [[[...]]]}
-//	GET  /healthz
-//	GET  /metrics
-//	GET  /debug/pprof/   (only with -pprof)
+//	POST   /v1/matmul       {"m": [[...]], "x": [[...]], "timeout_ms": 0} or {"model": "name@v1", "x": [[...]]}
+//	POST   /v1/conv2d       {"input": [[[...]]], "kernels": [[[[...]]]], "stride": 1, "pad": 0} or by "model"
+//	POST   /v1/infer        {"model": "tiny-cnn", "volume": [[[...]]]}
+//	POST   /v1/models       register a named model (persisted with -store; prewarmed and pinned)
+//	GET    /v1/models       list registered models
+//	DELETE /v1/models/{ref} unregister "name@version"
+//	GET    /healthz
+//	GET    /metrics
+//	GET    /debug/pprof/    (only with -pprof)
 //
 // Concurrent matmul requests whose weight matrices are bit-identical are
 // coalesced into one partition-wide engine call, so a fleet of clients
@@ -48,6 +51,7 @@ func main() {
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "graceful shutdown budget")
 	flag.Int64Var(&cfg.InferSeed, "infer-seed", cfg.InferSeed, "seed for the built-in model weights")
 	flag.StringVar(&cfg.NodeID, "node-id", "", "cluster identity echoed as X-Flumen-Node (empty = random)")
+	flag.StringVar(&cfg.StoreDir, "store", "", "model-registry store directory (empty = memory-only; models vanish on restart)")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", cfg.MaxBodyBytes, "request body size limit in bytes (oversized bodies get 413)")
 	fabricOn := flag.Bool("fabric", false, "attach the dynamic fabric arbiter and drive background NoP traffic")
 	fabricRate := flag.Float64("fabric-rate", 0.0, "background NoP offered load in packets/node/cycle (with -fabric; 0 = idle network)")
@@ -90,6 +94,11 @@ func main() {
 	st := srv.Accelerator().Stats()
 	log.Printf("flumend: node %s listening on %s (fabric %d ports, %d partitions of %d, cache %d programs)",
 		srv.NodeID(), srv.Addr(), st.Ports, st.Partitions, st.BlockSize, st.Cache.Capacity)
+	if cfg.StoreDir != "" {
+		rs := srv.Registry().Stats()
+		log.Printf("flumend: model registry persisted at %s (%d models loaded, %d awaiting prewarm)",
+			cfg.StoreDir, rs.Models, rs.PrewarmPending)
+	}
 	if arb := srv.Fabric(); arb != nil {
 		log.Printf("flumend: dynamic fabric arbiter attached (%d partitions, background load %.3f packets/node/cycle)",
 			arb.Partitions(), *fabricRate)

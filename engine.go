@@ -571,6 +571,10 @@ type CacheStats struct {
 	Evictions int64
 	Entries   int
 	Capacity  int
+	// Pinned counts entries currently held against eviction (the model
+	// registry pins every block program of a registered model so prewarmed
+	// weights survive arbitrary inline-request churn).
+	Pinned int
 }
 
 // programCache is a mutex-guarded LRU of compiled block programs keyed by
@@ -584,6 +588,8 @@ type programCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	// pinned counts entries currently held by at least one pin.
+	pinned int
 	// planEvictions counts evicted programs that carried a compiled
 	// propagation plan — each one is plan-compilation work the engine will
 	// redo if the weights return.
@@ -593,6 +599,11 @@ type programCache struct {
 type cacheEntry struct {
 	key string
 	bp  *photonic.BlockProgram
+	// pins is a reference count of registry holds on this entry; a pinned
+	// entry (pins > 0) is skipped by the LRU's eviction scan. Counting —
+	// rather than a boolean — lets two registered models that share a block
+	// (or one model that repeats a block) pin and unpin independently.
+	pins int
 }
 
 func newProgramCache(capacity int) *programCache {
@@ -625,15 +636,62 @@ func (pc *programCache) put(key string, bp *photonic.BlockProgram) {
 	}
 	pc.index[key] = pc.ll.PushFront(&cacheEntry{key: key, bp: bp})
 	for pc.ll.Len() > pc.capacity {
-		back := pc.ll.Back()
-		pc.ll.Remove(back)
-		ent := back.Value.(*cacheEntry)
+		// Scan from the LRU end for the first unpinned victim. Pinned
+		// entries are immovable: when pins alone exceed capacity the cache
+		// grows past it rather than evicting a registered model's program.
+		el := pc.ll.Back()
+		for el != nil && el.Value.(*cacheEntry).pins > 0 {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		pc.ll.Remove(el)
+		ent := el.Value.(*cacheEntry)
 		delete(pc.index, ent.key)
 		pc.evictions++
 		if ent.bp.HasCompiledPlan() {
 			pc.planEvictions++
 		}
 	}
+}
+
+// pin marks key's entry as held against eviction (reference-counted).
+// Returns false when the key is not resident — the caller compiles and puts
+// first, so a false here means a concurrent eviction won the race.
+func (pc *programCache) pin(key string) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.index[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.pins == 0 {
+		pc.pinned++
+	}
+	ent.pins++
+	return true
+}
+
+// unpin releases one pin hold on key; the entry becomes evictable again
+// when its count reaches zero. Returns false for unknown or unpinned keys.
+func (pc *programCache) unpin(key string) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.index[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.pins == 0 {
+		return false
+	}
+	ent.pins--
+	if ent.pins == 0 {
+		pc.pinned--
+	}
+	return true
 }
 
 func (pc *programCache) planEvictionCount() int64 {
@@ -651,5 +709,6 @@ func (pc *programCache) stats() CacheStats {
 		Evictions: pc.evictions,
 		Entries:   pc.ll.Len(),
 		Capacity:  pc.capacity,
+		Pinned:    pc.pinned,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -54,6 +55,12 @@ func (h *Harness) start(node *harnessNode, addr string) error {
 	cfg := h.cfg
 	cfg.Addr = addr
 	cfg.NodeID = node.nodeID
+	if h.cfg.StoreDir != "" {
+		// Each node persists its registry in its own subdirectory, so a
+		// Restart reloads exactly what that node had registered — the
+		// single-machine analogue of per-node disks.
+		cfg.StoreDir = filepath.Join(h.cfg.StoreDir, node.nodeID)
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err

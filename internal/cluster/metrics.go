@@ -30,6 +30,8 @@ type routerMetrics struct {
 	hedges       int64
 	hedgeWins    int64
 	noBackend    int64 // 503s because no routable backend existed
+	modelRegs    int64 // model registrations fanned out through this router
+	modelReplays int64 // registrations replayed into readmitted backends
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -143,6 +145,13 @@ func (m *routerMetrics) write(w io.Writer, backends []BackendStats, budget float
 	fmt.Fprintf(w, "# HELP flumen_router_retry_budget Cluster-wide retry tokens currently available.\n")
 	fmt.Fprintf(w, "# TYPE flumen_router_retry_budget gauge\n")
 	fmt.Fprintf(w, "flumen_router_retry_budget %g\n", budget)
+
+	fmt.Fprintf(w, "# HELP flumen_router_model_registrations_total Model registrations fanned out to the fleet.\n")
+	fmt.Fprintf(w, "# TYPE flumen_router_model_registrations_total counter\n")
+	fmt.Fprintf(w, "flumen_router_model_registrations_total %d\n", m.modelRegs)
+	fmt.Fprintf(w, "# HELP flumen_router_model_replays_total Registrations replayed into backends readmitted after ejection.\n")
+	fmt.Fprintf(w, "# TYPE flumen_router_model_replays_total counter\n")
+	fmt.Fprintf(w, "flumen_router_model_replays_total %d\n", m.modelReplays)
 
 	fmt.Fprintf(w, "# HELP flumen_router_backend_requests_total Live requests attempted per backend.\n")
 	fmt.Fprintf(w, "# TYPE flumen_router_backend_requests_total counter\n")

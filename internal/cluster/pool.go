@@ -108,8 +108,11 @@ func (b *backend) snapshot() BackendStats {
 }
 
 // observeSuccess records a success from either signal source and advances
-// probation toward reinstatement.
-func (b *backend) observeSuccess(cfg *Config, now time.Time) {
+// probation toward reinstatement. The return value reports an
+// ejected→probation transition — the node just came back (possibly a fresh
+// process with empty state), which is the pool's cue to fire onReadmit so
+// the router can replay model registrations into it.
+func (b *backend) observeSuccess(cfg *Config, now time.Time) (readmitted bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consecFails = 0
@@ -126,8 +129,10 @@ func (b *backend) observeSuccess(cfg *Config, now time.Time) {
 		if now.Sub(b.ejectedAt) >= cfg.EjectionTime {
 			b.state = StateProbation
 			b.consecOKs = 1
+			return true
 		}
 	}
+	return false
 }
 
 // observeFailure records a failure from either signal source; enough of
@@ -158,8 +163,20 @@ type pool struct {
 	hashes   []uint64
 	probeCli *http.Client
 
+	// onReadmit fires when a backend leaves ejection (enters probation) —
+	// set by the router before start() to replay model registrations into
+	// nodes that may have restarted with empty state.
+	onReadmit func(*backend)
+
 	stop     context.CancelFunc
 	probesWG sync.WaitGroup
+}
+
+// readmitted dispatches the readmission hook.
+func (p *pool) readmitted(b *backend) {
+	if p.onReadmit != nil {
+		p.onReadmit(b)
+	}
 }
 
 func newPool(cfg *Config) (*pool, error) {
@@ -254,7 +271,9 @@ func (p *pool) probe(ctx context.Context, b *backend) {
 		b.node = n
 	}
 	b.mu.Unlock()
-	b.observeSuccess(p.cfg, now)
+	if b.observeSuccess(p.cfg, now) {
+		p.readmitted(b)
+	}
 }
 
 // candidates returns the preference-ordered routable backends for a key:

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"flumen/internal/registry"
 	"flumen/internal/serve"
 )
 
@@ -38,6 +39,13 @@ type Router struct {
 	rndMu sync.Mutex
 	rnd   *rand.Rand
 
+	// modelsMu guards modelDir: the router's directory of models registered
+	// through it (models.go). Each entry carries the registered routing key,
+	// so by-reference requests route without any weight bytes to hash, and
+	// the original payload, replayed into backends returning from ejection.
+	modelsMu sync.Mutex
+	modelDir map[string]*modelEntry
+
 	drainMu  sync.Mutex
 	draining bool
 }
@@ -57,19 +65,27 @@ func New(cfg Config) (*Router, error) {
 		seed = time.Now().UnixNano()
 	}
 	rt := &Router{
-		cfg:    cfg,
-		pool:   p,
-		met:    newRouterMetrics(),
-		budget: newRetryBudget(cfg.RetryBudget, cfg.RetryBurst),
-		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
-		mux:    http.NewServeMux(),
-		rnd:    rand.New(rand.NewSource(seed)),
+		cfg:      cfg,
+		pool:     p,
+		met:      newRouterMetrics(),
+		budget:   newRetryBudget(cfg.RetryBudget, cfg.RetryBurst),
+		client:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+		mux:      http.NewServeMux(),
+		rnd:      rand.New(rand.NewSource(seed)),
+		modelDir: make(map[string]*modelEntry),
 	}
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
-	rt.mux.HandleFunc("POST /v1/matmul", rt.handleProxy("matmul", "/v1/matmul", matmulKey))
-	rt.mux.HandleFunc("POST /v1/conv2d", rt.handleProxy("conv2d", "/v1/conv2d", conv2dKey))
-	rt.mux.HandleFunc("POST /v1/infer", rt.handleProxy("infer", "/v1/infer", inferKey))
+	rt.mux.HandleFunc("POST /v1/matmul", rt.handleProxy("matmul", "/v1/matmul", rt.matmulKey))
+	rt.mux.HandleFunc("POST /v1/conv2d", rt.handleProxy("conv2d", "/v1/conv2d", rt.conv2dKey))
+	rt.mux.HandleFunc("POST /v1/infer", rt.handleProxy("infer", "/v1/infer", rt.inferKey))
+	rt.mux.HandleFunc("POST /v1/models", rt.handleModelRegister)
+	rt.mux.HandleFunc("GET /v1/models", rt.handleModelList)
+	rt.mux.HandleFunc("DELETE /v1/models/{ref}", rt.handleModelDelete)
+	// A backend returning from ejection may be a fresh process with an empty
+	// (memory-only) registry: replay every model registered through this
+	// router before it takes by-reference traffic again.
+	p.onReadmit = rt.replayModels
 	rt.httpSrv = &http.Server{Handler: rt.mux}
 	p.start()
 	return rt, nil
@@ -143,6 +159,8 @@ type Stats struct {
 	HedgeWins    int64
 	NoBackend    int64
 	RetryBudget  float64
+	Models       int   // models in the router's directory
+	ModelReplays int64 // registrations replayed into readmitted backends
 }
 
 // Stats snapshots the pool and routing counters.
@@ -151,6 +169,9 @@ func (rt *Router) Stats() Stats {
 	for _, b := range rt.pool.backends {
 		st.Backends = append(st.Backends, b.snapshot())
 	}
+	rt.modelsMu.Lock()
+	st.Models = len(rt.modelDir)
+	rt.modelsMu.Unlock()
 	rt.met.mu.Lock()
 	st.Routed = rt.met.routed
 	st.AffinityHits = rt.met.affinityHits
@@ -159,6 +180,7 @@ func (rt *Router) Stats() Stats {
 	st.Hedges = rt.met.hedges
 	st.HedgeWins = rt.met.hedgeWins
 	st.NoBackend = rt.met.noBackend
+	st.ModelReplays = rt.met.modelReplays
 	rt.met.mu.Unlock()
 	return st
 }
@@ -167,13 +189,20 @@ func (rt *Router) Stats() Stats {
 
 // matmulKey fingerprints the weight matrix — the exact key the backend's
 // program cache and coalescer use, so routing affinity and cache affinity
-// are the same relation.
-func matmulKey(body []byte) (string, error) {
+// are the same relation. By-reference requests carry no weight bytes; the
+// model directory supplies the fingerprint that was computed once at
+// registration, so by-name and inline traffic for the same weights land on
+// the same node.
+func (rt *Router) matmulKey(body []byte) (string, error) {
 	var req struct {
-		M [][]float64 `json:"m"`
+		M     [][]float64 `json:"m"`
+		Model string      `json:"model"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		return "", err
+	}
+	if req.Model != "" {
+		return rt.modelKey(req.Model), nil
 	}
 	return serve.WeightFingerprint(req.M), nil
 }
@@ -181,36 +210,34 @@ func matmulKey(body []byte) (string, error) {
 // conv2dKey fingerprints the kernel stack (the conv weights), flattened one
 // kernel per row: the backend im2cols the kernels into exactly such a
 // matrix before programming the mesh.
-func conv2dKey(body []byte) (string, error) {
+func (rt *Router) conv2dKey(body []byte) (string, error) {
 	var req struct {
 		Kernels [][][][]float64 `json:"kernels"`
+		Model   string          `json:"model"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		return "", err
 	}
-	rows := make([][]float64, len(req.Kernels))
-	for k, kern := range req.Kernels {
-		var row []float64
-		for _, ch := range kern {
-			for _, r := range ch {
-				row = append(row, r...)
-			}
-		}
-		rows[k] = row
+	if req.Model != "" {
+		return rt.modelKey(req.Model), nil
 	}
-	return serve.WeightFingerprint(rows), nil
+	return serve.WeightFingerprint(registry.RavelKernels(req.Kernels)), nil
 }
 
-// inferKey routes by model name: every backend derives identical model
-// weights from the shared seed, so a model's block fingerprints — and
+// inferKey routes by model name: built-in models have identical seed-derived
+// weights on every backend, and registered ones ("name@version") are fanned
+// out to every backend, so either way a name's block fingerprints — and
 // therefore its cached programs — are the same on whichever node repeatedly
 // serves it.
-func inferKey(body []byte) (string, error) {
+func (rt *Router) inferKey(body []byte) (string, error) {
 	var req struct {
 		Model string `json:"model"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		return "", err
+	}
+	if e := rt.lookupModel(req.Model); e != nil {
+		return e.key, nil
 	}
 	return "model:" + req.Model, nil
 }
@@ -344,13 +371,17 @@ func (a *attemptResult) definitive() bool {
 // transport errors and 5xx count against the backend, 503 counts as alive
 // (the node answered; it is saturated, not sick), 2xx/4xx count as healthy.
 func (rt *Router) send(ctx context.Context, b *backend, path string, body []byte, reqID string) attemptResult {
+	return rt.sendMethod(ctx, b, http.MethodPost, path, body, reqID)
+}
+
+func (rt *Router) sendMethod(ctx context.Context, b *backend, method, path string, body []byte, reqID string) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
 	b.mu.Lock()
 	b.requests++
 	b.mu.Unlock()
 
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.name+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, method, b.name+path, bytes.NewReader(body))
 	if err != nil {
 		return attemptResult{b: b, err: err}
 	}
@@ -388,7 +419,9 @@ func (rt *Router) send(ctx context.Context, b *backend, path string, body []byte
 		b.mu.Lock()
 		b.spills++
 		b.mu.Unlock()
-		b.observeSuccess(rt.pool.cfg, now)
+		if b.observeSuccess(rt.pool.cfg, now) {
+			rt.pool.readmitted(b)
+		}
 	case resp.StatusCode >= 500:
 		b.mu.Lock()
 		b.errors++
@@ -400,7 +433,9 @@ func (rt *Router) send(ctx context.Context, b *backend, path string, body []byte
 			b.node = n
 			b.mu.Unlock()
 		}
-		b.observeSuccess(rt.pool.cfg, now)
+		if b.observeSuccess(rt.pool.cfg, now) {
+			rt.pool.readmitted(b)
+		}
 	}
 	return attemptResult{b: b, status: resp.StatusCode, header: resp.Header, body: rb}
 }

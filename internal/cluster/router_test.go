@@ -58,7 +58,7 @@ func postRouter(rt *Router, path, body string, hdr map[string]string) *httptest.
 // routing key — tests use it to know which fake backend is tried first.
 func orderFor(t *testing.T, rt *Router, body string) []*backend {
 	t.Helper()
-	key, err := matmulKey([]byte(body))
+	key, err := rt.matmulKey([]byte(body))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,108 @@
+package registry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The prewarmer is a single background worker draining a bounded queue of
+// freshly registered (or reloaded) models. For each one it compiles every
+// layer's block programs — and their compiled plans when kernel compilation
+// is on — into the engine cache and pins them, all without touching the
+// fabric: no partitions are programmed and no energy is metered. One worker
+// keeps prewarm compile load off the request path's core (the daemon runs
+// on a single vCPU) while still finishing typical registrations in
+// milliseconds.
+type prewarmer struct {
+	r       *Registry
+	ch      chan *Model
+	queued  atomic.Int64
+	stopped chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+func newPrewarmer(r *Registry) *prewarmer {
+	pw := &prewarmer{
+		r:       r,
+		ch:      make(chan *Model, 256),
+		stopped: make(chan struct{}),
+	}
+	pw.wg.Add(1)
+	go pw.run()
+	return pw
+}
+
+// enqueue hands a model to the worker. If the queue is full (a mass reload
+// larger than the buffer), the caller prewarms synchronously rather than
+// dropping the model — registration's contract is that every acked model
+// gets warmed.
+func (pw *prewarmer) enqueue(m *Model) {
+	pw.queued.Add(1)
+	select {
+	case pw.ch <- m:
+	default:
+		pw.warm(m)
+	}
+}
+
+func (pw *prewarmer) pending() int {
+	n := pw.queued.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+func (pw *prewarmer) run() {
+	defer pw.wg.Done()
+	for {
+		select {
+		case m := <-pw.ch:
+			pw.warm(m)
+		case <-pw.stopped:
+			// Drain whatever is already queued so Close never strands a
+			// model half-warmed, then exit.
+			for {
+				select {
+				case m := <-pw.ch:
+					pw.warm(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (pw *prewarmer) warm(m *Model) {
+	defer pw.queued.Add(-1)
+	eng := pw.r.cfg.Engine
+	if eng == nil {
+		m.setPrewarmed(0)
+		return
+	}
+	pinned := 0
+	for _, w := range m.Spec.Weights() {
+		n, err := eng.PrewarmWeights(w)
+		if err != nil {
+			pw.r.cfg.Logf("registry: prewarm %s: %v", m.Spec.Ref(), err)
+			continue
+		}
+		pinned += n
+	}
+	// A Remove may have raced the compile; release the pins it could not
+	// see so nothing stays immortal in the cache.
+	if !pw.r.resolved(m) {
+		for _, w := range m.Spec.Weights() {
+			eng.UnpinWeights(w)
+		}
+		return
+	}
+	m.setPrewarmed(pinned)
+}
+
+func (pw *prewarmer) stop() {
+	pw.once.Do(func() { close(pw.stopped) })
+	pw.wg.Wait()
+}

@@ -1,0 +1,352 @@
+// Package registry is the model store: named, versioned weights registered
+// once and referenced forever after. Registration persists the spec to a
+// content-addressed disk store (survives daemon restarts), then a background
+// prewarmer compiles the weights' block programs into the engine cache and
+// pins them against eviction — so the first by-reference request after a
+// register or a restart runs entirely on warm programs. Compute requests
+// name a model as "name@version" instead of shipping weight bytes; the
+// resolved in-memory weights feed the exact engine path inline requests
+// take, so by-reference responses are bitwise-equal to inline ones.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Engine is the compile-and-pin surface the prewarmer drives. The
+// Accelerator satisfies it: PrewarmWeights compiles every block program
+// (and, when kernel compilation is on, its CompiledPlan) for a weight
+// matrix into the LRU and pins the entries; UnpinWeights releases them.
+type Engine interface {
+	PrewarmWeights(m [][]float64) (int, error)
+	UnpinWeights(m [][]float64) int
+}
+
+// Typed resolution errors, distinguished so the serving layer can report
+// "no such model" and "model exists, version doesn't" with distinct codes.
+var (
+	ErrUnknownModel   = errors.New("unknown model")
+	ErrUnknownVersion = errors.New("unknown model version")
+	ErrConflict       = errors.New("model version already registered with different weights")
+)
+
+// Model is one registered name@version.
+type Model struct {
+	Spec       *Spec
+	Digest     string // sha256 of the canonical spec blob (content address)
+	Bytes      int64  // blob size on disk
+	Registered time.Time
+
+	mu        sync.Mutex
+	prewarmed bool
+	pinned    int // block programs currently pinned for this model
+}
+
+// Prewarmed reports whether the background prewarmer has finished compiling
+// and pinning this model's block programs.
+func (m *Model) Prewarmed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.prewarmed
+}
+
+func (m *Model) setPrewarmed(pinned int) {
+	m.mu.Lock()
+	m.prewarmed = true
+	m.pinned = pinned
+	m.mu.Unlock()
+}
+
+// Info is the wire-friendly summary of a model, returned by List and the
+// management API.
+type Info struct {
+	Name       string `json:"name"`
+	Version    string `json:"version"`
+	Kind       Kind   `json:"kind"`
+	Digest     string `json:"digest"`
+	Bytes      int64  `json:"bytes"`
+	Registered string `json:"registered"`
+	Prewarmed  bool   `json:"prewarmed"`
+}
+
+// Stats is a point-in-time census for metrics exposition.
+type Stats struct {
+	Models         int
+	Prewarmed      int
+	PrewarmPending int
+	Registrations  uint64
+	Removals       uint64
+}
+
+// Config wires a Registry. Dir == "" runs memory-only (models vanish on
+// restart); Engine == nil disables prewarming (registration still works).
+type Config struct {
+	Dir    string
+	Engine Engine
+	Logf   func(format string, args ...any)
+}
+
+// Registry owns the model namespace, its disk persistence, and the
+// prewarm queue.
+type Registry struct {
+	cfg   Config
+	store *store // nil in memory-only mode
+
+	mu            sync.Mutex
+	models        map[string]*Model // keyed by ref "name@version"
+	registrations uint64
+	removals      uint64
+	closed        bool
+
+	pw *prewarmer
+}
+
+// Open loads (or creates) a registry. With a Dir, every model acked before
+// the last shutdown — clean or not — is reloaded from the manifest and
+// queued for prewarming, so a restarted daemon serves registered models
+// with zero cold compiles.
+func Open(cfg Config) (*Registry, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	r := &Registry{cfg: cfg, models: make(map[string]*Model)}
+	r.pw = newPrewarmer(r)
+	if cfg.Dir != "" {
+		st, err := openStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		r.store = st
+		loaded, notes, err := st.load()
+		for _, n := range notes {
+			cfg.Logf("registry: %s", n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range loaded {
+			r.models[m.Spec.Ref()] = m
+		}
+		if len(loaded) > 0 {
+			cfg.Logf("registry: reloaded %d models from %s", len(loaded), cfg.Dir)
+		}
+		for _, m := range loaded {
+			r.pw.enqueue(m)
+		}
+	}
+	return r, nil
+}
+
+// Register validates and persists a model, then queues it for prewarming.
+// Registering the exact same spec under the same ref is idempotent
+// (created=false); the same ref with different weights is ErrConflict —
+// versions are immutable, publish a new one instead.
+func (r *Registry) Register(spec *Spec) (*Model, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	_, digest, err := canonicalSpec(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	ref := spec.Ref()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("registry: closed")
+	}
+	if existing, ok := r.models[ref]; ok {
+		r.mu.Unlock()
+		if existing.Digest == digest {
+			return existing, false, nil
+		}
+		return nil, false, fmt.Errorf("%w: %s is %s, refusing %s", ErrConflict, ref, existing.Digest[:12], digest[:12])
+	}
+	m := &Model{Spec: spec, Digest: digest, Registered: time.Now().UTC()}
+	if r.store != nil {
+		// Persist while holding the lock: the manifest write is the ack
+		// point, and concurrent registrations must serialize through it so
+		// no acked model is ever missing from the manifest.
+		var perr error
+		m.Digest, m.Bytes, perr = r.store.putBlob(spec)
+		if perr == nil {
+			perr = r.store.writeManifest(r.manifestEntriesLocked(m))
+		}
+		if perr != nil {
+			r.mu.Unlock()
+			return nil, false, perr
+		}
+	}
+	r.models[ref] = m
+	r.registrations++
+	r.mu.Unlock()
+
+	r.pw.enqueue(m)
+	return m, true, nil
+}
+
+// manifestEntriesLocked renders the current model set plus one extra model
+// as manifest entries. Caller holds r.mu.
+func (r *Registry) manifestEntriesLocked(extra *Model) []manifestEntry {
+	entries := make([]manifestEntry, 0, len(r.models)+1)
+	add := func(m *Model) {
+		entries = append(entries, manifestEntry{
+			Name:           m.Spec.Name,
+			Version:        m.Spec.Version,
+			Kind:           m.Spec.Kind,
+			Digest:         m.Digest,
+			Bytes:          m.Bytes,
+			RegisteredUnix: m.Registered.Unix(),
+		})
+	}
+	for _, m := range r.models {
+		add(m)
+	}
+	if extra != nil {
+		add(extra)
+	}
+	return entries
+}
+
+// Resolve returns the model for a "name@version" reference (bare names
+// resolve version "v1"). ErrUnknownVersion is returned when the name exists
+// under other versions, ErrUnknownModel when it doesn't exist at all.
+func (r *Registry) Resolve(ref string) (*Model, error) {
+	name, version, ok := SplitRef(ref)
+	if !ok {
+		version = "v1"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.models[name+"@"+version]; ok {
+		return m, nil
+	}
+	for _, m := range r.models {
+		if m.Spec.Name == name {
+			return nil, fmt.Errorf("%w: %s has no version %q", ErrUnknownVersion, name, version)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+}
+
+// Remove unregisters a model, unpins its programs, and deletes its blob.
+func (r *Registry) Remove(ref string) error {
+	name, version, ok := SplitRef(ref)
+	if !ok {
+		version = "v1"
+	}
+	key := name + "@" + version
+
+	r.mu.Lock()
+	m, exists := r.models[key]
+	if !exists {
+		var verr error = ErrUnknownModel
+		for _, other := range r.models {
+			if other.Spec.Name == name {
+				verr = ErrUnknownVersion
+				break
+			}
+		}
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", verr, key)
+	}
+	delete(r.models, key)
+	r.removals++
+	var perr error
+	if r.store != nil {
+		perr = r.store.writeManifest(r.manifestEntriesLocked(nil))
+	}
+	// Another ref may share the blob (same weights under two names).
+	shared := false
+	for _, other := range r.models {
+		if other.Digest == m.Digest {
+			shared = true
+			break
+		}
+	}
+	r.mu.Unlock()
+
+	if r.store != nil && !shared {
+		r.store.removeBlob(m.Digest)
+	}
+	if r.cfg.Engine != nil {
+		for _, w := range m.Spec.Weights() {
+			r.cfg.Engine.UnpinWeights(w)
+		}
+	}
+	return perr
+}
+
+// List returns all models sorted by ref.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(models, func(i, j int) bool { return models[i].Spec.Ref() < models[j].Spec.Ref() })
+	infos := make([]Info, len(models))
+	for i, m := range models {
+		infos[i] = Info{
+			Name:       m.Spec.Name,
+			Version:    m.Spec.Version,
+			Kind:       m.Spec.Kind,
+			Digest:     m.Digest,
+			Bytes:      m.Bytes,
+			Registered: m.Registered.Format(time.RFC3339),
+			Prewarmed:  m.Prewarmed(),
+		}
+	}
+	return infos
+}
+
+// Stats snapshots counters for the metrics endpoint.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	st := Stats{
+		Models:        len(r.models),
+		Registrations: r.registrations,
+		Removals:      r.removals,
+	}
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.mu.Unlock()
+	for _, m := range models {
+		if m.Prewarmed() {
+			st.Prewarmed++
+		}
+	}
+	st.PrewarmPending = r.pw.pending()
+	return st
+}
+
+// resolved reports whether a model is still registered — the prewarmer
+// re-checks after pinning so a remove that raced the prewarm doesn't leak
+// pinned programs.
+func (r *Registry) resolved(m *Model) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.models[m.Spec.Ref()] == m
+}
+
+// Close stops the prewarmer and rejects further registrations. Registered
+// models stay resolvable until the process exits so in-flight requests
+// drain cleanly.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.pw.stop()
+}

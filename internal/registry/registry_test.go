@@ -1,0 +1,440 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeEngine counts prewarm/unpin traffic so tests can assert the registry
+// drives the compile-and-pin surface correctly without a real accelerator.
+type fakeEngine struct {
+	mu        sync.Mutex
+	prewarmed int
+	unpinned  int
+}
+
+func (e *fakeEngine) PrewarmWeights(m [][]float64) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.prewarmed++
+	return len(m), nil
+}
+
+func (e *fakeEngine) UnpinWeights(m [][]float64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.unpinned++
+	return len(m)
+}
+
+func (e *fakeEngine) counts() (prewarmed, unpinned int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prewarmed, e.unpinned
+}
+
+func testSpec(name, version string, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([][]float64, 4)
+	for i := range m {
+		m[i] = make([]float64, 4)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return &Spec{Name: name, Version: version, Kind: KindMatMul, M: m}
+}
+
+// waitPrewarmed polls until the model reports prewarmed or the deadline
+// passes.
+func waitPrewarmed(t *testing.T, m *Model) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Prewarmed() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("model %s never prewarmed", m.Spec.Ref())
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		spec *Spec
+	}{
+		{"empty name", &Spec{Version: "v1", Kind: KindMatMul, M: [][]float64{{1}}}},
+		{"at in name", &Spec{Name: "a@b", Kind: KindMatMul, M: [][]float64{{1}}}},
+		{"slash in name", &Spec{Name: "a/b", Kind: KindMatMul, M: [][]float64{{1}}}},
+		{"space in version", &Spec{Name: "a", Version: "v 1", Kind: KindMatMul, M: [][]float64{{1}}}},
+		{"no kind", &Spec{Name: "a", M: [][]float64{{1}}}},
+		{"unknown kind", &Spec{Name: "a", Kind: "gemm", M: [][]float64{{1}}}},
+		{"matmul missing m", &Spec{Name: "a", Kind: KindMatMul}},
+		{"matmul extra fields", &Spec{Name: "a", Kind: KindMatMul, M: [][]float64{{1}}, FC: [][]float64{{1}}}},
+		{"ragged m", &Spec{Name: "a", Kind: KindMatMul, M: [][]float64{{1, 2}, {3}}}},
+		{"nan m", &Spec{Name: "a", Kind: KindMatMul, M: [][]float64{{nan()}}}},
+		{"conv2d missing kernels", &Spec{Name: "a", Kind: KindConv2D}},
+		{"infer no layers", &Spec{Name: "a", Kind: KindInfer}},
+		{"infer geometry mismatch", &Spec{Name: "a", Kind: KindInfer, Conv: &ConvSpec{
+			InW: 4, InH: 4, InC: 1, KW: 3, KH: 3, NumKernels: 2, Stride: 1,
+			Kernels: [][]float64{{1, 2, 3}}, // 1×3, geometry wants 2×9
+		}}},
+		{"infer classes mismatch", &Spec{Name: "a", Kind: KindInfer, Classes: 7, FC: [][]float64{{1}, {2}}}},
+	}
+	for _, tc := range bad {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
+		}
+	}
+
+	s := testSpec("ok", "", 1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if s.Version != "v1" {
+		t.Errorf("empty version normalized to %q, want v1", s.Version)
+	}
+
+	// A pool-only infer head derives its class count from the kernel count.
+	pool := &Spec{Name: "p", Kind: KindInfer, Conv: &ConvSpec{
+		InW: 4, InH: 4, InC: 1, KW: 3, KH: 3, NumKernels: 2, Stride: 1,
+		Kernels: [][]float64{make([]float64, 9), make([]float64, 9)},
+	}}
+	if err := pool.Validate(); err != nil {
+		t.Fatalf("pool-only infer spec rejected: %v", err)
+	}
+	if pool.Classes != 2 {
+		t.Errorf("pool-only classes = %d, want 2", pool.Classes)
+	}
+}
+
+func nan() float64 { return 0 / zero }
+
+var zero float64 // defeats constant folding so 0/zero is a runtime NaN
+
+func TestRegisterResolveRemove(t *testing.T) {
+	eng := &fakeEngine{}
+	r, err := Open(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	spec := testSpec("alpha", "v1", 1)
+	m, created, err := r.Register(spec)
+	if err != nil || !created {
+		t.Fatalf("Register = (%v, %v, %v), want created", m, created, err)
+	}
+	waitPrewarmed(t, m)
+
+	// Exact ref, bare name, and the error taxonomy.
+	if got, err := r.Resolve("alpha@v1"); err != nil || got != m {
+		t.Fatalf("Resolve(alpha@v1) = (%v, %v)", got, err)
+	}
+	if got, err := r.Resolve("alpha"); err != nil || got != m {
+		t.Fatalf("Resolve(alpha) = (%v, %v), want the v1 model", got, err)
+	}
+	if _, err := r.Resolve("alpha@v2"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("Resolve(alpha@v2) = %v, want ErrUnknownVersion", err)
+	}
+	if _, err := r.Resolve("beta"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Resolve(beta) = %v, want ErrUnknownModel", err)
+	}
+
+	// Idempotent: identical spec under the same ref is not a new model.
+	again, created, err := r.Register(testSpec("alpha", "v1", 1))
+	if err != nil || created || again != m {
+		t.Fatalf("re-Register = (%v, %v, %v), want the existing model, created=false", again, created, err)
+	}
+	// Conflict: same ref, different weights.
+	if _, _, err := r.Register(testSpec("alpha", "v1", 2)); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting Register = %v, want ErrConflict", err)
+	}
+
+	if err := r.Remove("alpha@v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve("alpha@v1"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Resolve after Remove = %v, want ErrUnknownModel", err)
+	}
+	if _, unpinned := eng.counts(); unpinned == 0 {
+		t.Error("Remove never unpinned the model's weights")
+	}
+	st := r.Stats()
+	if st.Models != 0 || st.Registrations != 1 || st.Removals != 1 {
+		t.Errorf("Stats = %+v, want 0 models, 1 registration, 1 removal", st)
+	}
+}
+
+func TestReloadAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	eng := &fakeEngine{}
+	r, err := Open(Config{Dir: dir, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []*Spec{testSpec("alpha", "v1", 1), testSpec("alpha", "v2", 2), testSpec("beta", "v1", 3)}
+	digests := map[string]string{}
+	for _, s := range specs {
+		m, _, err := r.Register(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests[s.Ref()] = m.Digest
+	}
+	r.Close()
+
+	r2, err := Open(Config{Dir: dir, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	for ref, digest := range digests {
+		m, err := r2.Resolve(ref)
+		if err != nil {
+			t.Fatalf("Resolve(%s) after reopen: %v", ref, err)
+		}
+		if m.Digest != digest {
+			t.Errorf("%s digest %s after reopen, want %s", ref, m.Digest, digest)
+		}
+		waitPrewarmed(t, m)
+	}
+	if st := r2.Stats(); st.Models != len(specs) {
+		t.Errorf("reopened registry has %d models, want %d", st.Models, len(specs))
+	}
+}
+
+// TestTornManifestFallsBackToBackup simulates a crash that tears the primary
+// manifest mid-write: the reopened registry must recover every acked model
+// from the backup copy.
+func TestTornManifestFallsBackToBackup(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Spec{testSpec("alpha", "v1", 1), testSpec("beta", "v1", 2)} {
+		if _, _, err := r.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+
+	manifest := filepath.Join(dir, "manifest.json")
+	good, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn write: the file exists but holds half the bytes.
+	if err := os.WriteFile(manifest, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	r2, err := Open(Config{Dir: dir, Logf: func(f string, a ...any) { logs = append(logs, f) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	for _, ref := range []string{"alpha@v1", "beta@v1"} {
+		if _, err := r2.Resolve(ref); err != nil {
+			t.Errorf("Resolve(%s) after torn manifest: %v", ref, err)
+		}
+	}
+	if len(logs) == 0 {
+		t.Error("recovery from the backup manifest was silent")
+	}
+}
+
+// TestChecksumRejectsTamper: a manifest whose bytes parse but whose checksum
+// does not match is treated as torn, not trusted.
+func TestChecksumRejectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Register(testSpec("alpha", "v1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	manifest := filepath.Join(dir, "manifest.json")
+	good, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(good), `"alpha"`, `"gamma"`, 1)
+	if tampered == string(good) {
+		t.Fatal("tamper replacement did not apply")
+	}
+	if err := os.WriteFile(manifest, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	// The backup still holds the true manifest; the tampered name must not
+	// resolve and the real one must.
+	if _, err := r2.Resolve("gamma@v1"); err == nil {
+		t.Error("tampered manifest entry was trusted")
+	}
+	if _, err := r2.Resolve("alpha@v1"); err != nil {
+		t.Errorf("Resolve(alpha@v1) after tamper recovery: %v", err)
+	}
+}
+
+// TestCorruptBlobDropsOnlyItsEntry: one damaged blob must not take down the
+// rest of the store.
+func TestCorruptBlobDropsOnlyItsEntry(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, _, err := r.Register(testSpec("alpha", "v1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Register(testSpec("beta", "v1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	blob := filepath.Join(dir, "blobs", alpha.Digest+".json")
+	if err := os.WriteFile(blob, []byte(`{"name":"alpha"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.Resolve("alpha@v1"); err == nil {
+		t.Error("corrupt blob's model still resolves")
+	}
+	if _, err := r2.Resolve("beta@v1"); err != nil {
+		t.Errorf("healthy model lost alongside the corrupt one: %v", err)
+	}
+}
+
+// TestTmpSweep: interrupted atomic writes leave *.tmp litter that must be
+// gone after the next open.
+func TestTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stray := []string{
+		filepath.Join(dir, "manifest.json.123.tmp"),
+		filepath.Join(dir, "blobs", "deadbeef.json.456.tmp"),
+	}
+	for _, p := range stray {
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, p := range stray {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived the tmp sweep", p)
+		}
+	}
+}
+
+// TestRemoveIsDurable: a removal must delete the removed version's blob,
+// leave its siblings' blobs intact, and stay removed across a reopen.
+func TestRemoveIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _, err := r.Register(testSpec("alpha", "v1", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _, err := r.Register(testSpec("alpha", "v2", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("alpha@v1"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, "blobs", ma.Digest+".json")); !os.IsNotExist(err) {
+		t.Error("removed model's blob still on disk")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blobs", mb.Digest+".json")); err != nil {
+		t.Fatalf("surviving model's blob missing: %v", err)
+	}
+	r2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.Resolve("alpha@v2"); err != nil {
+		t.Errorf("surviving version lost after sibling removal: %v", err)
+	}
+	if _, err := r2.Resolve("alpha@v1"); err == nil {
+		t.Error("removed version still resolves after reopen")
+	}
+}
+
+// TestConcurrentRegistrations: racing registrations of distinct models must
+// all be acked, durable, and prewarmed — the manifest is written under the
+// registry lock, so the last write contains every acked ref.
+func TestConcurrentRegistrations(t *testing.T) {
+	dir := t.TempDir()
+	eng := &fakeEngine{}
+	r, err := Open(Config{Dir: dir, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = r.Register(testSpec("m", versionName(i), int64(i+1)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("registration %d: %v", i, err)
+		}
+	}
+	r.Close()
+
+	r2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if st := r2.Stats(); st.Models != n {
+		t.Fatalf("reloaded %d models, want %d", st.Models, n)
+	}
+}
+
+func versionName(i int) string {
+	return "v" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}

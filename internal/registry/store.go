@@ -1,0 +1,250 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"flumen/internal/wfp"
+)
+
+// The disk store is content-addressed and crash-safe without a WAL:
+//
+//	<dir>/blobs/<digest>.json   one canonical-JSON spec per blob, named by
+//	                            the sha256 of its own bytes
+//	<dir>/manifest.json         checksummed list of registered refs → digests
+//	<dir>/manifest.json.bak     previous good manifest
+//
+// Every write is tmp+rename, blob before manifest. A registration is acked
+// only after the manifest rename, so a crash at any point leaves either the
+// old manifest (new blob is an invisible orphan) or the new one (blob is
+// already durable). On load, torn or corrupt files are detected by checksum
+// and discarded: a bad manifest falls back to the .bak, bad blobs drop only
+// their own entries, and stray *.tmp files are removed.
+
+// manifestEntry is one registered model's durable record.
+type manifestEntry struct {
+	Name           string `json:"name"`
+	Version        string `json:"version"`
+	Kind           Kind   `json:"kind"`
+	Digest         string `json:"digest"`
+	Bytes          int64  `json:"bytes"`
+	RegisteredUnix int64  `json:"registered_unix"`
+}
+
+// manifestFile is the on-disk manifest: the entry list plus a checksum of
+// its canonical encoding, so a torn write is distinguishable from an empty
+// store.
+type manifestFile struct {
+	Checksum string          `json:"checksum"`
+	Models   []manifestEntry `json:"models"`
+}
+
+type store struct {
+	dir string
+}
+
+func openStore(dir string) (*store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("registry: create store dir: %w", err)
+	}
+	s := &store{dir: dir}
+	s.sweepTmp()
+	return s, nil
+}
+
+func (s *store) manifestPath() string { return filepath.Join(s.dir, "manifest.json") }
+func (s *store) backupPath() string   { return s.manifestPath() + ".bak" }
+func (s *store) blobPath(digest string) string {
+	return filepath.Join(s.dir, "blobs", digest+".json")
+}
+
+// sweepTmp removes leftovers of interrupted writes. Renames are atomic, so
+// anything still carrying the .tmp suffix never became visible.
+func (s *store) sweepTmp() {
+	for _, glob := range []string{
+		filepath.Join(s.dir, "*.tmp"),
+		filepath.Join(s.dir, "blobs", "*.tmp"),
+	} {
+		matches, _ := filepath.Glob(glob)
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+}
+
+// canonicalSpec is the stable encoding a blob's digest is computed over.
+// encoding/json emits struct fields in declaration order with no
+// indentation, so byte-identical specs produce byte-identical blobs.
+func canonicalSpec(spec *Spec) ([]byte, string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, "", fmt.Errorf("registry: encode spec: %w", err)
+	}
+	return b, wfp.Hex(string(b)), nil
+}
+
+func manifestChecksum(models []manifestEntry) string {
+	b, _ := json.Marshal(models)
+	return wfp.Hex(string(b))
+}
+
+// writeFileAtomic writes data to path via a same-directory tmp file and
+// rename, fsyncing the file so the rename publishes complete contents.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// putBlob persists a spec under its content digest. Idempotent: an existing
+// blob with the right name is already the right bytes (digest == checksum).
+func (s *store) putBlob(spec *Spec) (digest string, size int64, err error) {
+	b, digest, err := canonicalSpec(spec)
+	if err != nil {
+		return "", 0, err
+	}
+	path := s.blobPath(digest)
+	if st, err := os.Stat(path); err == nil && st.Size() == int64(len(b)) {
+		return digest, int64(len(b)), nil
+	}
+	if err := writeFileAtomic(path, b); err != nil {
+		return "", 0, fmt.Errorf("registry: write blob: %w", err)
+	}
+	return digest, int64(len(b)), nil
+}
+
+// getBlob loads and verifies a spec blob. The digest doubles as checksum:
+// mismatched bytes mean a torn or corrupted file.
+func (s *store) getBlob(digest string) (*Spec, error) {
+	b, err := os.ReadFile(s.blobPath(digest))
+	if err != nil {
+		return nil, err
+	}
+	if wfp.Hex(string(b)) != digest {
+		return nil, fmt.Errorf("registry: blob %s fails its checksum", digest)
+	}
+	var spec Spec
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return nil, fmt.Errorf("registry: decode blob %s: %w", digest, err)
+	}
+	return &spec, nil
+}
+
+// writeManifest atomically replaces the manifest — the ack point of every
+// registration and removal — then refreshes the backup copy.
+func (s *store) writeManifest(models []manifestEntry) error {
+	sort.Slice(models, func(i, j int) bool {
+		if models[i].Name != models[j].Name {
+			return models[i].Name < models[j].Name
+		}
+		return models[i].Version < models[j].Version
+	})
+	mf := manifestFile{Checksum: manifestChecksum(models), Models: models}
+	b, err := json.MarshalIndent(&mf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: encode manifest: %w", err)
+	}
+	if err := writeFileAtomic(s.manifestPath(), b); err != nil {
+		return fmt.Errorf("registry: write manifest: %w", err)
+	}
+	// Best effort: the primary just became the newest good manifest, so it
+	// is also the freshest possible fallback.
+	_ = writeFileAtomic(s.backupPath(), b)
+	return nil
+}
+
+// readManifest returns the durable model list, preferring the primary
+// manifest and falling back to the backup when the primary is torn. A
+// missing store is an empty store.
+func (s *store) readManifest() ([]manifestEntry, []string, error) {
+	var notes []string
+	primary, perr := s.readManifestFile(s.manifestPath())
+	if perr == nil {
+		return primary, notes, nil
+	}
+	if !os.IsNotExist(perr) {
+		notes = append(notes, fmt.Sprintf("manifest.json unusable (%v), trying backup", perr))
+	}
+	backup, berr := s.readManifestFile(s.backupPath())
+	if berr == nil {
+		if !os.IsNotExist(perr) {
+			notes = append(notes, fmt.Sprintf("recovered %d models from manifest.json.bak", len(backup)))
+		}
+		return backup, notes, nil
+	}
+	if os.IsNotExist(perr) && os.IsNotExist(berr) {
+		return nil, notes, nil
+	}
+	return nil, notes, fmt.Errorf("registry: manifest unreadable: %v (backup: %v)", perr, berr)
+}
+
+func (s *store) readManifestFile(path string) ([]manifestEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(b, &mf); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	if mf.Checksum != manifestChecksum(mf.Models) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return mf.Models, nil
+}
+
+// load replays the manifest into live models, verifying every blob and
+// dropping entries whose blobs are missing or corrupt. Returns the loaded
+// models plus human-readable notes about anything discarded.
+func (s *store) load() ([]*Model, []string, error) {
+	entries, notes, err := s.readManifest()
+	if err != nil {
+		return nil, notes, err
+	}
+	var models []*Model
+	for _, e := range entries {
+		spec, err := s.getBlob(e.Digest)
+		if err != nil {
+			notes = append(notes, fmt.Sprintf("dropping %s@%s: %v", e.Name, e.Version, err))
+			continue
+		}
+		if err := spec.Validate(); err != nil {
+			notes = append(notes, fmt.Sprintf("dropping %s@%s: %v", e.Name, e.Version, err))
+			continue
+		}
+		models = append(models, &Model{
+			Spec:       spec,
+			Digest:     e.Digest,
+			Bytes:      e.Bytes,
+			Registered: time.Unix(e.RegisteredUnix, 0).UTC(),
+		})
+	}
+	return models, notes, nil
+}
+
+// removeBlob deletes a blob that no manifest entry references anymore.
+// Failure is harmless — orphan blobs are ignored on load.
+func (s *store) removeBlob(digest string) {
+	if digest != "" && !strings.Contains(digest, string(filepath.Separator)) {
+		os.Remove(s.blobPath(digest))
+	}
+}

@@ -77,6 +77,12 @@ type Config struct {
 	// serves identical models.
 	InferSeed int64
 
+	// StoreDir, when non-empty, persists the model registry there: every
+	// registered model survives a restart, and reloaded models are
+	// recompiled and pinned before their first request. Empty runs the
+	// registry memory-only.
+	StoreDir string
+
 	// Fabric, when non-nil, attaches a dynamic fabric arbiter: compute runs
 	// under time-bounded leases and NoP traffic can reclaim the fabric at any
 	// time. While the fabric is claimed for traffic, new requests are shed

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"flumen"
+	"flumen/internal/registry"
 	"flumen/internal/workload"
 )
 
@@ -70,6 +71,30 @@ func randMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
 		}
 	}
 	return m
+}
+
+// inferModelFromSpec adapts a registered infer-kind model to the built-in
+// execution path. Construction is a few slice-header copies — the weights
+// stay shared with the registry's Spec — so building one per request is
+// cheap, and because the same in-memory matrices feed the same engine
+// calls, a registered copy of a built-in model produces bitwise-identical
+// logits.
+func inferModelFromSpec(ref string, spec *registry.Spec) *inferModel {
+	mo := &inferModel{
+		name:    ref,
+		fcW:     spec.FC,
+		classes: spec.Classes,
+	}
+	if cv := spec.Conv; cv != nil {
+		mo.conv = true
+		mo.shape = workload.ConvShape{
+			InW: cv.InW, InH: cv.InH, InC: cv.InC,
+			KW: cv.KW, KH: cv.KH, NumKernels: cv.NumKernels,
+			Stride: cv.Stride, Pad: cv.Pad,
+		}
+		mo.kernels = cv.Kernels
+	}
+	return mo
 }
 
 // features returns the FC input width (0 for pool-only heads).

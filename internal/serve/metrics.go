@@ -31,6 +31,10 @@ type metrics struct {
 	// calls; against uptime it yields the fabric-busy fraction (the
 	// executor drives all partitions while a call is in flight).
 	execNanos int64
+	// Model-registry accounting.
+	byref         map[string]int64 // by-reference requests per endpoint
+	prewarmHits   int64            // by-reference requests served by an already-prewarmed model
+	registrations int64            // successful POST /v1/models calls (idempotent repeats included)
 }
 
 func newMetrics() *metrics {
@@ -39,6 +43,7 @@ func newMetrics() *metrics {
 		requests: make(map[string]int64),
 		errors:   make(map[string]int64),
 		hists:    make(map[string]*histogram),
+		byref:    make(map[string]int64),
 	}
 }
 
@@ -89,6 +94,21 @@ func (m *metrics) observeCancelled() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) observeByRef(endpoint string, prewarmed bool) {
+	m.mu.Lock()
+	m.byref[endpoint]++
+	if prewarmed {
+		m.prewarmHits++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeRegistration() {
+	m.mu.Lock()
+	m.registrations++
+	m.mu.Unlock()
+}
+
 func (m *metrics) observeBatch(requests int, execTime time.Duration) {
 	m.mu.Lock()
 	m.batchesExecuted++
@@ -113,6 +133,7 @@ type accelSnapshot struct {
 	CacheEvictions int64
 	CacheEntries   int
 	CacheCapacity  int
+	CachePinned    int
 
 	// Compiled propagation-kernel plan accounting (Stats().Kernel).
 	CompileHits      int64 // plans reused from a cached BlockProgram
@@ -124,6 +145,19 @@ type accelSnapshot struct {
 	Fabric *fabricSnapshot
 	// Health is non-nil when the device-health monitor is enabled.
 	Health *healthSnapshot
+	// Registry is always non-nil (the model registry always runs, with or
+	// without a persistent store).
+	Registry *registrySnapshot
+}
+
+// registrySnapshot decouples registry.Stats from the exposition the same
+// way accelSnapshot decouples flumen.Stats.
+type registrySnapshot struct {
+	Models         int
+	Prewarmed      int
+	PrewarmPending int
+	Registrations  uint64
+	Removals       uint64
 }
 
 // fabricSnapshot decouples fabric.Stats from the exposition the same way
@@ -234,6 +268,9 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, acc accelSnapshot
 	fmt.Fprintf(w, "# HELP flumend_cache_capacity Weight-program cache capacity.\n")
 	fmt.Fprintf(w, "# TYPE flumend_cache_capacity gauge\n")
 	fmt.Fprintf(w, "flumend_cache_capacity %d\n", acc.CacheCapacity)
+	fmt.Fprintf(w, "# HELP flumend_cache_pinned Cache entries pinned against eviction by registered models.\n")
+	fmt.Fprintf(w, "# TYPE flumend_cache_pinned gauge\n")
+	fmt.Fprintf(w, "flumend_cache_pinned %d\n", acc.CachePinned)
 
 	fmt.Fprintf(w, "# HELP flumend_engine_compile_hits_total Compiled propagation plans reused from cached weight programs.\n")
 	fmt.Fprintf(w, "# TYPE flumend_engine_compile_hits_total counter\n")
@@ -329,6 +366,32 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, acc accelSnapshot
 		fmt.Fprintf(w, "# TYPE flumend_health_probe_threshold gauge\n")
 		fmt.Fprintf(w, "flumend_health_probe_threshold %g\n", h.ProbeThreshold)
 	}
+
+	if r := acc.Registry; r != nil {
+		fmt.Fprintf(w, "# HELP flumend_registry_models Models currently registered.\n")
+		fmt.Fprintf(w, "# TYPE flumend_registry_models gauge\n")
+		fmt.Fprintf(w, "flumend_registry_models %d\n", r.Models)
+		fmt.Fprintf(w, "# HELP flumend_registry_prewarmed_models Registered models whose block programs are compiled and pinned.\n")
+		fmt.Fprintf(w, "# TYPE flumend_registry_prewarmed_models gauge\n")
+		fmt.Fprintf(w, "flumend_registry_prewarmed_models %d\n", r.Prewarmed)
+		fmt.Fprintf(w, "# HELP flumend_registry_prewarm_pending Models waiting in the background prewarm queue.\n")
+		fmt.Fprintf(w, "# TYPE flumend_registry_prewarm_pending gauge\n")
+		fmt.Fprintf(w, "flumend_registry_prewarm_pending %d\n", r.PrewarmPending)
+		fmt.Fprintf(w, "# HELP flumend_registry_registrations_total Models registered over the registry's lifetime (reloads excluded).\n")
+		fmt.Fprintf(w, "# TYPE flumend_registry_registrations_total counter\n")
+		fmt.Fprintf(w, "flumend_registry_registrations_total %d\n", r.Registrations)
+		fmt.Fprintf(w, "# HELP flumend_registry_removals_total Models unregistered.\n")
+		fmt.Fprintf(w, "# TYPE flumend_registry_removals_total counter\n")
+		fmt.Fprintf(w, "flumend_registry_removals_total %d\n", r.Removals)
+	}
+	fmt.Fprintf(w, "# HELP flumend_registry_byref_requests_total Compute requests that named a registered model instead of shipping weights.\n")
+	fmt.Fprintf(w, "# TYPE flumend_registry_byref_requests_total counter\n")
+	for _, ep := range sortedKeys(m.byref) {
+		fmt.Fprintf(w, "flumend_registry_byref_requests_total{endpoint=%q} %d\n", ep, m.byref[ep])
+	}
+	fmt.Fprintf(w, "# HELP flumend_registry_prewarm_hits_total By-reference requests whose model was already prewarmed (zero cold compiles on the request path).\n")
+	fmt.Fprintf(w, "# TYPE flumend_registry_prewarm_hits_total counter\n")
+	fmt.Fprintf(w, "flumend_registry_prewarm_hits_total %d\n", m.prewarmHits)
 
 	fmt.Fprintf(w, "# HELP flumend_request_duration_seconds Admission-to-completion latency per endpoint.\n")
 	fmt.Fprintf(w, "# TYPE flumend_request_duration_seconds histogram\n")

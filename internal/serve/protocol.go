@@ -1,9 +1,10 @@
 package serve
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
+
+	"flumen/internal/wfp"
 )
 
 // The wire protocol: plain JSON over HTTP. Every request may carry
@@ -12,10 +13,15 @@ import (
 // Retry-After, 504 deadline exceeded or client gone).
 
 // MatMulRequest asks for C = M·X on the fabric. M is row-major; X carries
-// one column per right-hand-side vector.
+// one column per right-hand-side vector. Alternatively Model names a
+// registered matmul model ("name@version") whose stored weights stand in
+// for M — the request then ships only X, and the response is bitwise-equal
+// to the inline form because the same in-memory weights feed the same
+// engine path. Exactly one of M and Model must be set.
 type MatMulRequest struct {
-	M [][]float64 `json:"m"`
-	X [][]float64 `json:"x"`
+	M     [][]float64 `json:"m,omitempty"`
+	Model string      `json:"model,omitempty"`
+	X     [][]float64 `json:"x"`
 	// TimeoutMS bounds the request end to end (queue wait included);
 	// 0 means the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -32,10 +38,14 @@ type MatMulResponse struct {
 }
 
 // Conv2DRequest asks for an im2col convolution. Input is
-// [channel][y][x]; Kernels is [kernel][channel][ky][kx].
+// [channel][y][x]; Kernels is [kernel][channel][ky][kx]. Model may name a
+// registered conv2d model instead of shipping Kernels inline (stride and
+// pad remain per-request knobs); exactly one of Kernels and Model must be
+// set.
 type Conv2DRequest struct {
 	Input     [][][]float64   `json:"input"`
-	Kernels   [][][][]float64 `json:"kernels"`
+	Kernels   [][][][]float64 `json:"kernels,omitempty"`
+	Model     string          `json:"model,omitempty"`
 	Stride    int             `json:"stride"`
 	Pad       int             `json:"pad"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
@@ -47,7 +57,8 @@ type Conv2DResponse struct {
 	ElapsedMS float64       `json:"elapsed_ms"`
 }
 
-// InferRequest runs one of the built-in workload DNNs. Volume carries the
+// InferRequest runs one of the built-in workload DNNs (bare model names) or
+// a registered infer-kind model ("name@version"). Volume carries the
 // [channel][y][x] input of convolutional models; Vector the flat input of
 // fully-connected models.
 type InferRequest struct {
@@ -80,10 +91,36 @@ type HealthResponse struct {
 	HealthyPartitions       int `json:"healthy_partitions,omitempty"`
 	QuarantinedPartitions   int `json:"quarantined_partitions,omitempty"`
 	RecalibratingPartitions int `json:"recalibrating_partitions,omitempty"`
+
+	// Model-registry state, always present: RegistryModels counts
+	// registered models; PrewarmPending counts models still waiting for
+	// background compile-and-pin (0 means every registered model serves its
+	// first by-reference request warm).
+	RegistryModels int `json:"registry_models"`
+	PrewarmPending int `json:"prewarm_pending"`
 }
+
+// Stable machine-readable error codes, carried in every error response's
+// "code" field. Clients and the cluster router branch on these — never on
+// the human-readable message, which may change.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeBodyTooLarge    = "body_too_large"
+	CodeUnknownModel    = "unknown_model"    // 404: no model by that name
+	CodeVersionMismatch = "version_mismatch" // 404: name exists, version doesn't
+	CodeKindMismatch    = "kind_mismatch"    // 400: model exists but wrong endpoint
+	CodeVersionConflict = "version_conflict" // 409: re-register with different weights
+	CodeQueueFull       = "queue_full"
+	CodeDraining        = "draining"
+	CodeNoCapacity      = "no_capacity"
+	CodeDeadline        = "deadline"
+	CodeCancelled       = "cancelled"
+	CodeInternal        = "internal"
+)
 
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // validateMatMul checks dimensions before admission, so malformed requests
@@ -112,6 +149,32 @@ func validateMatMul(req *MatMulRequest) error {
 		}
 	}
 	for _, r := range append(append([][]float64{}, req.M...), req.X...) {
+		for _, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("matrix entries must be finite")
+			}
+		}
+	}
+	return nil
+}
+
+// validateMatMulX checks only the right-hand side against an
+// already-validated weight matrix — the by-reference path, where the
+// registered M was vetted (rectangular, finite) at registration time and
+// re-scanning it per request would forfeit the point of serving by name.
+func validateMatMulX(m, x [][]float64) error {
+	inner := len(m[0])
+	if len(x) != inner {
+		return fmt.Errorf("dimension mismatch: model weights are %d×%d but x has %d rows", len(m), inner, len(x))
+	}
+	if len(x[0]) == 0 {
+		return fmt.Errorf("x must have at least one column")
+	}
+	nrhs := len(x[0])
+	for i, r := range x {
+		if len(r) != nrhs {
+			return fmt.Errorf("x is ragged: row %d has %d columns, row 0 has %d", i, len(r), nrhs)
+		}
 		for _, v := range r {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return fmt.Errorf("matrix entries must be finite")
@@ -182,24 +245,7 @@ func validateConv2D(req *Conv2DRequest) error {
 //
 // Exported because the cluster router keys its rendezvous hashing on the
 // same raw bits: the node that owns a fingerprint is the node whose
-// weight-program cache already holds the compiled plan.
-func WeightFingerprint(m [][]float64) string {
-	rows := len(m)
-	cols := 0
-	if rows > 0 {
-		cols = len(m[0])
-	}
-	buf := make([]byte, 0, 16+rows*cols*8)
-	var dims [16]byte
-	binary.LittleEndian.PutUint64(dims[0:], uint64(rows))
-	binary.LittleEndian.PutUint64(dims[8:], uint64(cols))
-	buf = append(buf, dims[:]...)
-	var w [8]byte
-	for _, row := range m {
-		for _, v := range row {
-			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
-			buf = append(buf, w[:]...)
-		}
-	}
-	return string(buf)
-}
+// weight-program cache already holds the compiled plan. The encoding
+// itself lives in internal/wfp, shared with the model registry's content
+// addressing.
+func WeightFingerprint(m [][]float64) string { return wfp.Matrix(m) }

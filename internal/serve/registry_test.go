@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"flumen/internal/registry"
+)
+
+// waitRegistryWarm polls until every registered model reports prewarmed.
+func waitRegistryWarm(t *testing.T, s *Server, models int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := s.Registry().Stats()
+		if st.Models == models && st.Prewarmed == models && st.PrewarmPending == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("registry never settled at %d prewarmed models: %+v", models, s.Registry().Stats())
+}
+
+func registerSpec(t *testing.T, url string, spec *registry.Spec, wantStatus int) []byte {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/models", spec)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("register %s: status %d, want %d: %s", spec.Ref(), resp.StatusCode, wantStatus, body)
+	}
+	return body
+}
+
+func bitwise2D(t *testing.T, got, want [][]float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("%s differs bitwise at (%d,%d): %v vs %v", what, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestByRefMatMulBitwise: a "model" reference must produce the exact bytes
+// an inline-weights request produces, with the by-ref request hitting only
+// prewarmed (pinned) programs.
+func TestByRefMatMulBitwise(t *testing.T) {
+	cfg := testConfig()
+	s, hs := newTestServer(t, cfg)
+
+	rng := rand.New(rand.NewSource(31))
+	m := testMatrix(rng, 16, 16)
+	x := testMatrix(rng, 16, 3)
+
+	registerSpec(t, hs.URL, &registry.Spec{Name: "w", Version: "v1", Kind: registry.KindMatMul, M: m}, http.StatusCreated)
+	waitRegistryWarm(t, s, 1)
+	if p := s.Accelerator().Stats().Cache.Pinned; p == 0 {
+		t.Fatal("prewarm pinned nothing")
+	}
+
+	resp, body := postJSON(t, hs.URL+"/v1/matmul", MatMulRequest{M: m, X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline matmul: %d: %s", resp.StatusCode, body)
+	}
+	var inline MatMulResponse
+	if err := json.Unmarshal(body, &inline); err != nil {
+		t.Fatal(err)
+	}
+
+	missesBefore := s.Accelerator().Stats().Cache.Misses
+	resp, body = postJSON(t, hs.URL+"/v1/matmul", MatMulRequest{Model: "w@v1", X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-ref matmul: %d: %s", resp.StatusCode, body)
+	}
+	var byref MatMulResponse
+	if err := json.Unmarshal(body, &byref); err != nil {
+		t.Fatal(err)
+	}
+	bitwise2D(t, byref.C, inline.C, "by-ref matmul")
+	if d := s.Accelerator().Stats().Cache.Misses - missesBefore; d != 0 {
+		t.Errorf("by-ref request compiled %d programs, want 0 (prewarmed)", d)
+	}
+
+	// A bare name resolves v1.
+	resp, body = postJSON(t, hs.URL+"/v1/matmul", MatMulRequest{Model: "w", X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare-name matmul: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestByRefConv2DBitwise mirrors the matmul contract on the conv2d path.
+func TestByRefConv2DBitwise(t *testing.T) {
+	cfg := testConfig()
+	s, hs := newTestServer(t, cfg)
+
+	rng := rand.New(rand.NewSource(32))
+	kernels := make([][][][]float64, 2)
+	for k := range kernels {
+		kernels[k] = make([][][]float64, 2)
+		for c := range kernels[k] {
+			kernels[k][c] = testMatrix(rng, 3, 3)
+		}
+	}
+	input := make([][][]float64, 2)
+	for c := range input {
+		input[c] = testMatrix(rng, 6, 6)
+	}
+
+	registerSpec(t, hs.URL, &registry.Spec{Name: "edges", Kind: registry.KindConv2D, Kernels: kernels}, http.StatusCreated)
+	waitRegistryWarm(t, s, 1)
+
+	resp, body := postJSON(t, hs.URL+"/v1/conv2d", Conv2DRequest{Input: input, Kernels: kernels, Stride: 1, Pad: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline conv2d: %d: %s", resp.StatusCode, body)
+	}
+	var inline Conv2DResponse
+	if err := json.Unmarshal(body, &inline); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, hs.URL+"/v1/conv2d", Conv2DRequest{Input: input, Model: "edges@v1", Stride: 1, Pad: 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-ref conv2d: %d: %s", resp.StatusCode, body)
+	}
+	var byref Conv2DResponse
+	if err := json.Unmarshal(body, &byref); err != nil {
+		t.Fatal(err)
+	}
+	for k := range inline.Output {
+		bitwise2D(t, byref.Output[k], inline.Output[k], "by-ref conv2d output")
+	}
+}
+
+// TestByRefInferBitwise registers a bit-identical copy of the built-in
+// tiny-cnn under a versioned name: its logits must match the built-in's
+// exactly.
+func TestByRefInferBitwise(t *testing.T) {
+	cfg := testConfig()
+	s, hs := newTestServer(t, cfg)
+
+	tiny := buildModels(cfg.InferSeed)["tiny-cnn"]
+	spec := &registry.Spec{
+		Name: "tiny-copy", Version: "v2", Kind: registry.KindInfer,
+		Conv: &registry.ConvSpec{
+			InW: tiny.shape.InW, InH: tiny.shape.InH, InC: tiny.shape.InC,
+			KW: tiny.shape.KW, KH: tiny.shape.KH, NumKernels: tiny.shape.NumKernels,
+			Stride: tiny.shape.Stride, Pad: tiny.shape.Pad,
+			Kernels: tiny.kernels,
+		},
+		FC: tiny.fcW,
+	}
+	registerSpec(t, hs.URL, spec, http.StatusCreated)
+	waitRegistryWarm(t, s, 1)
+
+	rng := rand.New(rand.NewSource(33))
+	volume := make([][][]float64, tiny.shape.InC)
+	for c := range volume {
+		volume[c] = testMatrix(rng, tiny.shape.InH, tiny.shape.InW)
+	}
+
+	resp, body := postJSON(t, hs.URL+"/v1/infer", InferRequest{Model: "tiny-cnn", Volume: volume})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("builtin infer: %d: %s", resp.StatusCode, body)
+	}
+	var builtin InferResponse
+	if err := json.Unmarshal(body, &builtin); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, hs.URL+"/v1/infer", InferRequest{Model: "tiny-copy@v2", Volume: volume})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-ref infer: %d: %s", resp.StatusCode, body)
+	}
+	var byref InferResponse
+	if err := json.Unmarshal(body, &byref); err != nil {
+		t.Fatal(err)
+	}
+	if len(byref.Logits) != len(builtin.Logits) {
+		t.Fatalf("logit count %d, want %d", len(byref.Logits), len(builtin.Logits))
+	}
+	for i := range builtin.Logits {
+		if math.Float64bits(byref.Logits[i]) != math.Float64bits(builtin.Logits[i]) {
+			t.Fatalf("logit %d differs bitwise: %v vs %v", i, byref.Logits[i], builtin.Logits[i])
+		}
+	}
+	if byref.Class != builtin.Class {
+		t.Fatalf("class %d, want %d", byref.Class, builtin.Class)
+	}
+}
+
+// TestRegistryErrorCodes pins the management API's stable error taxonomy —
+// the JSON "code" field clients and the router branch on.
+func TestRegistryErrorCodes(t *testing.T) {
+	cfg := testConfig()
+	_, hs := newTestServer(t, cfg)
+
+	rng := rand.New(rand.NewSource(34))
+	m := testMatrix(rng, 16, 16)
+	x := testMatrix(rng, 16, 2)
+	registerSpec(t, hs.URL, &registry.Spec{Name: "w", Kind: registry.KindMatMul, M: m}, http.StatusCreated)
+
+	check := func(resp *http.Response, body []byte, wantStatus int, wantCode string) {
+		t.Helper()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("status %d, want %d: %s", resp.StatusCode, wantStatus, body)
+			return
+		}
+		var er struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Errorf("non-JSON error body %q: %v", body, err)
+			return
+		}
+		if er.Code != wantCode {
+			t.Errorf("code %q, want %q (error: %s)", er.Code, wantCode, er.Error)
+		}
+	}
+
+	// Unknown model vs known model, unknown version: distinct codes.
+	resp, body := postJSON(t, hs.URL+"/v1/matmul", MatMulRequest{Model: "ghost", X: x})
+	check(resp, body, http.StatusNotFound, CodeUnknownModel)
+	resp, body = postJSON(t, hs.URL+"/v1/matmul", MatMulRequest{Model: "w@v9", X: x})
+	check(resp, body, http.StatusNotFound, CodeVersionMismatch)
+
+	// Registered under another kind.
+	resp, body = postJSON(t, hs.URL+"/v1/conv2d", Conv2DRequest{
+		Input: [][][]float64{testMatrix(rng, 4, 4)}, Model: "w@v1", Stride: 1,
+	})
+	check(resp, body, http.StatusBadRequest, CodeKindMismatch)
+
+	// Inline weights and a model reference together are ambiguous.
+	resp, body = postJSON(t, hs.URL+"/v1/matmul", MatMulRequest{Model: "w@v1", M: m, X: x})
+	check(resp, body, http.StatusBadRequest, CodeBadRequest)
+
+	// Version immutability: same ref, different weights.
+	resp, body = postJSON(t, hs.URL+"/v1/models", &registry.Spec{Name: "w", Kind: registry.KindMatMul, M: testMatrix(rng, 16, 16)})
+	check(resp, body, http.StatusConflict, CodeVersionConflict)
+
+	// Unknown infer model still names the built-ins.
+	resp, body = postJSON(t, hs.URL+"/v1/infer", InferRequest{Model: "nope", Vector: []float64{1}})
+	check(resp, body, http.StatusNotFound, CodeUnknownModel)
+	if !strings.Contains(string(body), "tiny-cnn") {
+		t.Errorf("unknown-infer error does not list built-ins: %s", body)
+	}
+
+	// DELETE of an unregistered ref.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/models/ghost@v1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody := make([]byte, 512)
+	n, _ := dresp.Body.Read(dbody)
+	dresp.Body.Close()
+	check(dresp, dbody[:n], http.StatusNotFound, CodeUnknownModel)
+}
+
+// TestRegistryCrashRecovery is the torn-write drill: a daemon registers
+// models and dies without draining, a torn manifest write and stray tmp
+// files land on disk (the SIGKILL-mid-registration residue), and a new
+// daemon on the same store must come up with every acked model present,
+// prewarmed, and serving by-reference — with zero compiles on the first
+// request.
+func TestRegistryCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.StoreDir = dir
+
+	rng := rand.New(rand.NewSource(35))
+	m := testMatrix(rng, 16, 16)
+	x := testMatrix(rng, 16, 2)
+
+	// First daemon: register, capture the inline answer, die abruptly.
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	registerSpec(t, hs1.URL, &registry.Spec{Name: "w", Kind: registry.KindMatMul, M: m}, http.StatusCreated)
+	resp, body := postJSON(t, hs1.URL+"/v1/matmul", MatMulRequest{M: m, X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline matmul: %d: %s", resp.StatusCode, body)
+	}
+	var want MatMulResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	hs1.Close()
+	s1.Close() // abrupt: no drain ceremony
+
+	// Crash residue: a half-written manifest replacing the primary (the
+	// .bak still holds the acked state) plus interrupted tmp files.
+	manifest := filepath.Join(dir, "manifest.json")
+	good, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifest, good[:len(good)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json.9.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blobs", "x.json.9.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second daemon on the same store.
+	s2, hs2 := newTestServer(t, cfg)
+	waitRegistryWarm(t, s2, 1)
+	if p := s2.Accelerator().Stats().Cache.Pinned; p == 0 {
+		t.Fatal("reloaded model was not pinned")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json.9.tmp")); !os.IsNotExist(err) {
+		t.Error("stray tmp file survived the restart sweep")
+	}
+
+	missesBefore := s2.Accelerator().Stats().Cache.Misses
+	resp, body = postJSON(t, hs2.URL+"/v1/matmul", MatMulRequest{Model: "w@v1", X: x})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-ref matmul after restart: %d: %s", resp.StatusCode, body)
+	}
+	var got MatMulResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	bitwise2D(t, got.C, want.C, "post-restart by-ref matmul")
+	if d := s2.Accelerator().Stats().Cache.Misses - missesBefore; d != 0 {
+		t.Errorf("first post-restart request compiled %d programs, want 0 (warm start)", d)
+	}
+}
+
+// TestModelListAndDelete drives the management API end to end.
+func TestModelListAndDelete(t *testing.T) {
+	cfg := testConfig()
+	s, hs := newTestServer(t, cfg)
+
+	rng := rand.New(rand.NewSource(36))
+	ma := testMatrix(rng, 8, 8)
+	registerSpec(t, hs.URL, &registry.Spec{Name: "a", Kind: registry.KindMatMul, M: ma}, http.StatusCreated)
+	registerSpec(t, hs.URL, &registry.Spec{Name: "b", Kind: registry.KindMatMul, M: testMatrix(rng, 8, 8)}, http.StatusCreated)
+
+	// Idempotent re-register of identical bytes answers 200, not 201.
+	registerSpec(t, hs.URL, &registry.Spec{Name: "a", Kind: registry.KindMatMul, M: ma}, http.StatusOK)
+
+	lresp, err := http.Get(hs.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr ModelListResponse
+	if err := json.NewDecoder(lresp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(lr.Models) != 2 || lr.Models[0].Name != "a" || lr.Models[1].Name != "b" {
+		t.Fatalf("list = %+v, want [a@v1, b@v1]", lr.Models)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/models/a@v1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	if st := s.Registry().Stats(); st.Models != 1 {
+		t.Fatalf("after delete: %d models, want 1", st.Models)
+	}
+
+	// The metrics surface reflects the registry.
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(mb)
+	for _, series := range []string{
+		"flumend_registry_models 1",
+		"flumend_registry_registrations_total 2",
+		"flumend_registry_removals_total 1",
+		"flumend_cache_pinned",
+	} {
+		if !strings.Contains(exposition, series) {
+			t.Errorf("metrics exposition missing %q", series)
+		}
+	}
+}

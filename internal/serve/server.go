@@ -15,6 +15,7 @@ import (
 
 	"flumen"
 	"flumen/internal/fabric"
+	"flumen/internal/registry"
 )
 
 // Server is the flumend HTTP front end: handlers decode and validate
@@ -27,6 +28,7 @@ type Server struct {
 	sched   *scheduler
 	met     *metrics
 	models  map[string]*inferModel
+	reg     *registry.Registry
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped with the identity middleware
 
@@ -81,6 +83,19 @@ func New(cfg Config) (*Server, error) {
 		models: buildModels(cfg.InferSeed),
 		mux:    http.NewServeMux(),
 	}
+	// The registry opens after the cache size is final (SetProgramCacheSize
+	// replaces the cache and would drop prewarm pins) and always runs —
+	// without -store it is memory-only, so /v1/models and by-reference
+	// requests work either way and only persistence is opt-in.
+	reg, err := registry.Open(registry.Config{
+		Dir:    cfg.StoreDir,
+		Engine: acc,
+		Logf:   log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.reg = reg
 	s.sched = newScheduler(cfg, acc, s.met)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -88,6 +103,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/matmul", s.handleMatMul)
 	s.mux.HandleFunc("POST /v1/conv2d", s.handleConv2D)
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
+	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
+	s.mux.HandleFunc("DELETE /v1/models/{ref}", s.handleModelDelete)
 	if cfg.EnablePprof {
 		// Index serves every named profile (heap, goroutine, mutex, block,
 		// allocs) under the prefix; the four fixed handlers are the ones the
@@ -130,6 +148,10 @@ func (s *Server) NodeID() string { return s.cfg.NodeID }
 // Accelerator exposes the backing accelerator's public surface (read-only
 // observation, e.g. Stats()).
 func (s *Server) Accelerator() *flumen.Accelerator { return s.acc }
+
+// Registry exposes the model registry (tests and tools inspect it; requests
+// go through the /v1/models API).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // Fabric returns the attached dynamic fabric arbiter, or nil when the
 // server runs with dedicated compute partitions. A NoP driver feeds it
@@ -177,7 +199,9 @@ func (s *Server) Run(ctx context.Context) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	shutdownErr := s.httpSrv.Shutdown(drainCtx)
-	if err := s.sched.drain(drainCtx); err != nil {
+	err := s.sched.drain(drainCtx)
+	s.reg.Close()
+	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
 	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
@@ -199,6 +223,7 @@ func (s *Server) Close() error {
 	done, cancel := context.WithCancel(context.Background())
 	cancel()
 	s.sched.drain(done)
+	s.reg.Close()
 	return err
 }
 
@@ -234,6 +259,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "degraded"
 		}
 	}
+	rs := s.reg.Stats()
+	resp.RegistryModels = rs.Models
+	resp.PrewarmPending = rs.PrewarmPending
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -251,6 +279,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions: st.Cache.Evictions,
 		CacheEntries:   st.Cache.Entries,
 		CacheCapacity:  st.Cache.Capacity,
+		CachePinned:    st.Cache.Pinned,
 
 		CompileHits:      st.Kernel.PlanReuses,
 		CompileMisses:    st.Kernel.PlanCompiles,
@@ -275,6 +304,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			InjectionRate:   fs.InjectionRate,
 		}
 	}
+	rs := s.reg.Stats()
+	snap.Registry = &registrySnapshot{
+		Models:         rs.Models,
+		Prewarmed:      rs.Prewarmed,
+		PrewarmPending: rs.PrewarmPending,
+		Registrations:  rs.Registrations,
+		Removals:       rs.Removals,
+	}
 	if hs := st.Health; hs != nil && hs.Enabled {
 		snap.Health = &healthSnapshot{
 			Healthy:        hs.Healthy,
@@ -298,9 +335,32 @@ func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if err := validateMatMul(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	key := ""
+	if req.Model != "" {
+		// By-reference: the registered weights stand in for M and the
+		// model's precomputed fingerprint stands in for hashing them, so the
+		// request coalesces with inline requests carrying the same bits.
+		if req.M != nil {
+			writeError(w, http.StatusBadRequest, "pass either model or inline m, not both")
+			return
+		}
+		mdl := s.resolveModel(w, req.Model, registry.KindMatMul)
+		if mdl == nil {
+			return
+		}
+		if err := validateMatMulX(mdl.Spec.M, req.X); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		req.M = mdl.Spec.M
+		key = mdl.Spec.RoutingKey()
+		s.met.observeByRef("matmul", mdl.Prewarmed())
+	} else {
+		if err := validateMatMul(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		key = WeightFingerprint(req.M)
 	}
 	ctx, cancel := s.reqContext(r, req.TimeoutMS)
 	defer cancel()
@@ -309,7 +369,7 @@ func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
 		ctx:      ctx,
 		endpoint: "matmul",
 		enq:      time.Now(),
-		key:      WeightFingerprint(req.M),
+		key:      key,
 		m:        req.M,
 		x:        req.X,
 		done:     make(chan jobResult, 1),
@@ -335,6 +395,21 @@ func (s *Server) handleConv2D(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Stride == 0 {
 		req.Stride = 1
+	}
+	if req.Model != "" {
+		// By-reference: the registered kernel stack replaces the inline one;
+		// stride and pad stay per-request knobs. Substituting before the
+		// shared validator keeps every input/kernel cross-check in force.
+		if req.Kernels != nil {
+			writeError(w, http.StatusBadRequest, "pass either model or inline kernels, not both")
+			return
+		}
+		mdl := s.resolveModel(w, req.Model, registry.KindConv2D)
+		if mdl == nil {
+			return
+		}
+		req.Kernels = mdl.Spec.Kernels
+		s.met.observeByRef("conv2d", mdl.Prewarmed())
 	}
 	if err := validateConv2D(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -372,9 +447,26 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	model, ok := s.models[req.Model]
 	if !ok {
-		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("unknown model %q; available: %v", req.Model, modelNames(s.models)))
-		return
+		// Not a built-in: try the registry ("name@version"; bare names
+		// resolve @v1 there too, so registered models don't need the suffix
+		// unless they shadow a built-in).
+		mdl, err := s.reg.Resolve(req.Model)
+		if err != nil {
+			if errors.Is(err, registry.ErrUnknownModel) {
+				writeErrorCode(w, http.StatusNotFound, CodeUnknownModel,
+					fmt.Sprintf("unknown model %q; built-in: %v", req.Model, modelNames(s.models)))
+				return
+			}
+			writeRegistryError(w, err)
+			return
+		}
+		if mdl.Spec.Kind != registry.KindInfer {
+			writeErrorCode(w, http.StatusBadRequest, CodeKindMismatch,
+				"model "+mdl.Spec.Ref()+" is kind "+string(mdl.Spec.Kind)+", /v1/infer serves infer models")
+			return
+		}
+		model = inferModelFromSpec(req.Model, mdl.Spec)
+		s.met.observeByRef("infer", mdl.Prewarmed())
 	}
 	if err := model.checkInput(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -457,14 +549,14 @@ func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 	if err := s.sched.submit(j); err != nil {
 		s.met.observeRejected()
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		msg := "admission queue full, retry later"
+		msg, code := "admission queue full, retry later", CodeQueueFull
 		switch {
 		case errors.Is(err, errDraining):
-			msg = "server draining"
+			msg, code = "server draining", CodeDraining
 		case errors.Is(err, errNoCapacity):
-			msg = "fabric reclaimed for network traffic, retry later"
+			msg, code = "fabric reclaimed for network traffic, retry later", CodeNoCapacity
 		}
-		writeError(w, http.StatusServiceUnavailable, msg)
+		writeErrorCode(w, http.StatusServiceUnavailable, code, msg)
 		return false
 	}
 	return true
@@ -489,17 +581,23 @@ func (s *Server) await(w http.ResponseWriter, ctx context.Context, j *job) (jobR
 		// executor shed it: same 503 backpressure as an admission-time shed.
 		s.met.observeRequest(j.endpoint, elapsed, true)
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		writeError(w, http.StatusServiceUnavailable, "fabric reclaimed for network traffic, retry later")
+		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoCapacity, "fabric reclaimed for network traffic, retry later")
 	case errors.Is(res.err, context.DeadlineExceeded):
 		s.met.observeRequest(j.endpoint, elapsed, true)
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		writeErrorCode(w, http.StatusGatewayTimeout, CodeDeadline, "deadline exceeded")
 	case errors.Is(res.err, context.Canceled):
 		// Client went away; nothing useful to write.
 		s.met.observeRequest(j.endpoint, elapsed, true)
-		writeError(w, http.StatusGatewayTimeout, "request cancelled")
+		writeErrorCode(w, http.StatusGatewayTimeout, CodeCancelled, "request cancelled")
+	case errors.Is(res.err, registry.ErrUnknownModel) || errors.Is(res.err, registry.ErrUnknownVersion):
+		// A registry resolution error that surfaced from the executor (a
+		// model removed while the job was queued) is still a structured 404
+		// with its stable code, never a plain-text 500.
+		s.met.observeRequest(j.endpoint, elapsed, true)
+		writeRegistryError(w, res.err)
 	default:
 		s.met.observeRequest(j.endpoint, elapsed, true)
-		writeError(w, http.StatusInternalServerError, res.err.Error())
+		writeErrorCode(w, http.StatusInternalServerError, CodeInternal, res.err.Error())
 	}
 	return res, false
 }
@@ -512,6 +610,25 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+// writeError answers with the status's generic code; paths with a more
+// specific condition use writeErrorCode directly.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	code := CodeInternal
+	switch status {
+	case http.StatusBadRequest:
+		code = CodeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		code = CodeBodyTooLarge
+	case http.StatusNotFound:
+		code = CodeUnknownModel
+	case http.StatusGatewayTimeout:
+		code = CodeDeadline
+	case http.StatusServiceUnavailable:
+		code = CodeQueueFull
+	}
+	writeErrorCode(w, status, code, msg)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }

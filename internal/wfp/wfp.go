@@ -1,0 +1,49 @@
+// Package wfp defines the raw-bit weight fingerprint shared by every layer
+// that keys on weight identity: the engine's block-program LRU, the serving
+// layer's request coalescer, the cluster router's rendezvous hashing, and
+// the model registry's content addressing. One encoding, one equality
+// relation — two weight matrices share a fingerprint exactly when they are
+// bit-identical, so a fingerprint match anywhere in the stack guarantees
+// bitwise-equal compute.
+package wfp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Matrix is an exact content key for a weight matrix — its dimensions plus
+// the IEEE-754 bits of every element. Collision-free by construction: the
+// key is a lossless encoding of the matrix, so equal keys mean bit-equal
+// weights (NaN payloads, signed zeros and infinities included).
+func Matrix(m [][]float64) string {
+	rows := len(m)
+	cols := 0
+	if rows > 0 {
+		cols = len(m[0])
+	}
+	buf := make([]byte, 0, 16+rows*cols*8)
+	var dims [16]byte
+	binary.LittleEndian.PutUint64(dims[0:], uint64(rows))
+	binary.LittleEndian.PutUint64(dims[8:], uint64(cols))
+	buf = append(buf, dims[:]...)
+	var w [8]byte
+	for _, row := range m {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			buf = append(buf, w[:]...)
+		}
+	}
+	return string(buf)
+}
+
+// Hex condenses a raw fingerprint (or any byte string) to a fixed-width
+// sha256 digest in hex — the printable form used in manifests, API
+// responses, and blob file names, where the raw key's length (proportional
+// to the weight count) would be unwieldy.
+func Hex(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
