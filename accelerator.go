@@ -6,12 +6,14 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flumen/internal/energy"
 	"flumen/internal/fabric"
 	"flumen/internal/mat"
 	"flumen/internal/optics"
 	"flumen/internal/photonic"
+	"flumen/internal/trace"
 	"flumen/internal/workload"
 )
 
@@ -573,6 +575,11 @@ func (a *Accelerator) Conv2DCtx(ctx context.Context, input [][][]float64, kernel
 		NumKernels: len(kernels), Stride: stride, Pad: pad,
 	}
 	shape.Validate()
+	// The CPU-side im2col lowering (volume packing, kernel ravel, patch
+	// extraction) is real per-request work a latency breakdown must not
+	// lose; for traced requests it books under the compute stage alongside
+	// the photonic propagation it feeds.
+	lowerStart := time.Now()
 	vol := workload.NewVolume(shape.InW, shape.InH, shape.InC)
 	for c := range input {
 		for y := range input[c] {
@@ -594,6 +601,9 @@ func (a *Accelerator) Conv2DCtx(ctx context.Context, input [][][]float64, kernel
 	}
 	km := workload.KernelMatrix(shape, ravel)
 	cols := workload.Im2Col(shape, vol)
+	if rec := trace.FromContext(ctx); rec != nil {
+		rec.Add(trace.StageCompute, time.Since(lowerStart))
+	}
 	prod, err := a.matMulCtx(ctx, km, cols)
 	if err != nil {
 		return nil, err

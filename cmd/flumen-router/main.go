@@ -41,6 +41,9 @@ func main() {
 	flag.DurationVar(&cfg.AttemptTimeout, "attempt-timeout", cfg.AttemptTimeout, "single backend attempt deadline")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", cfg.MaxBodyBytes, "request body size limit in bytes")
 	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "graceful shutdown budget")
+	flag.BoolVar(&cfg.TraceEnabled, "trace", cfg.TraceEnabled, "trace every proxied request (selection, hops, spills, retries) into /debug/requests")
+	flag.IntVar(&cfg.TraceRing, "trace-ring", cfg.TraceRing, "recent-trace ring size at /debug/requests (0 = default 256)")
+	flag.DurationVar(&cfg.SlowRequest, "trace-slow", cfg.SlowRequest, "log a stage breakdown for traced requests slower than this (0 = off)")
 	flag.Parse()
 
 	for _, b := range strings.Split(*backends, ",") {

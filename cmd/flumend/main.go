@@ -12,6 +12,7 @@
 //	DELETE /v1/models/{ref} unregister "name@version"
 //	GET    /healthz
 //	GET    /metrics
+//	GET    /debug/requests  recent per-request stage traces, newest first
 //	GET    /debug/pprof/    (only with -pprof)
 //
 // Concurrent matmul requests whose weight matrices are bit-identical are
@@ -60,6 +61,9 @@ func main() {
 	probeEvery := flag.Int("health-probe-interval", 0, "work items between calibration probes (0 = default)")
 	faultDrift := flag.Float64("fault-drift", 0, "demo: inject phase drift of this sigma per step into -fault-parts partitions (implies -health)")
 	faultParts := flag.Int("fault-parts", 1, "demo: number of partitions given injected faults (with -fault-drift)")
+	flag.BoolVar(&cfg.TraceEnabled, "trace", cfg.TraceEnabled, "trace every request's per-stage latency into /debug/requests and flumend_stage_seconds (off: only X-Flumen-Trace requests are traced)")
+	flag.IntVar(&cfg.TraceRing, "trace-ring", cfg.TraceRing, "recent-trace ring size at /debug/requests (0 = default 256)")
+	flag.DurationVar(&cfg.SlowRequest, "trace-slow", cfg.SlowRequest, "log a stage breakdown for traced requests slower than this (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (trusted networks only)")
 	mutexFrac := flag.Int("mutex-profile-frac", 0, "runtime mutex-contention sampling rate for /debug/pprof/mutex (0 = off)")
 	blockRate := flag.Int("block-profile-rate", 0, "runtime blocking-event sampling rate in ns for /debug/pprof/block (0 = off)")
@@ -109,6 +113,9 @@ func main() {
 	}
 	if *pprofOn {
 		log.Printf("flumend: pprof mounted at /debug/pprof/ (mutex fraction %d, block rate %d ns)", *mutexFrac, *blockRate)
+	}
+	if cfg.TraceEnabled {
+		log.Printf("flumend: request tracing on (ring %d, slow threshold %s)", cfg.TraceRing, cfg.SlowRequest)
 	}
 	if *faultDrift > 0 {
 		acc := srv.Accelerator()

@@ -7,11 +7,13 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"flumen/internal/fabric"
 	"flumen/internal/mat"
 	"flumen/internal/optics"
 	"flumen/internal/photonic"
+	"flumen/internal/trace"
 )
 
 // This file is the accelerator's parallel compute engine. A padded
@@ -61,6 +63,12 @@ type callConfig struct {
 	// enabled) probes and quarantines between items (see health.go).
 	faults []*photonic.FaultInjector
 	health *healthMonitor
+	// rec receives lease-wait and compute stage durations for a traced
+	// request. Resolved once per call from the context (nil for untraced
+	// calls, which is the only per-call cost of disabled tracing); the
+	// workers' adds are atomic, so concurrent partition stripes may record
+	// into one recorder.
+	rec trace.Recorder
 }
 
 // injector returns the fault injector of partition idx, or nil.
@@ -154,6 +162,7 @@ func (a *Accelerator) matMulCtx(ctx context.Context, md, xd *mat.Dense) (*mat.De
 	if cfg.noiseOn {
 		cfg.noiseCall = a.noiseCall.Add(1)
 	}
+	cfg.rec = trace.FromContext(ctx)
 
 	items := bi * bj
 	results := make([]itemResult, items)
@@ -218,6 +227,13 @@ type partHandle struct {
 // from the pool — giving up as soon as the context is cancelled so callers
 // never block on capacity drained by work they no longer want.
 func (a *Accelerator) checkout(ctx context.Context, cfg *callConfig) (partHandle, error) {
+	if cfg.rec != nil {
+		// Lease-wait is the headline fabric-contention signal: time from
+		// asking for a partition to holding one, whether granted by the
+		// arbiter or the free pool.
+		start := time.Now()
+		defer func() { cfg.rec.Add(trace.StageLeaseWait, time.Since(start)) }()
+	}
 	if cfg.fab != nil {
 		l, err := cfg.fab.Acquire(ctx)
 		if err != nil {
@@ -301,8 +317,15 @@ func (a *Accelerator) runItems(ctx context.Context, g, workers, items, bi, nrhs 
 			h = partHandle{}
 		}
 		c, r := idx/bi, idx%bi
+		var itemStart time.Time
+		if cfg.rec != nil {
+			itemStart = time.Now()
+		}
 		if err := a.computeItem(h.p, h.idx, scratch, pm, px, r, c, nrhs, cfg, &results[idx]); err != nil {
 			return err
+		}
+		if cfg.rec != nil {
+			cfg.rec.Add(trace.StageCompute, time.Since(itemStart))
 		}
 		if cfg.health != nil && cfg.health.afterItem(a, cfg, h) {
 			// The partition we hold just failed its calibration probe and

@@ -109,6 +109,18 @@ type Config struct {
 	// Seed makes PolicyRandom reproducible in benchmarks (0 = seeded from
 	// entropy).
 	Seed int64
+
+	// TraceEnabled traces every proxied request (candidate selection, hop
+	// latency, spills, retries) into the router's /debug/requests ring and
+	// the flumen_router_hop_seconds histogram. Off, individual requests can
+	// still opt in with the X-Flumen-Trace: 1 header, which the router
+	// forwards so the backend returns its stage breakdown in the body.
+	TraceEnabled bool
+	// TraceRing bounds the /debug/requests ring (0 = default 256).
+	TraceRing int
+	// SlowRequest, when positive, logs a one-line stage breakdown for any
+	// traced request slower end-to-end than this threshold.
+	SlowRequest time.Duration
 }
 
 // DefaultConfig returns production-leaning router defaults.

@@ -22,6 +22,7 @@ type routerMetrics struct {
 	requests map[string]int64 // per endpoint, admitted at the router
 	errors   map[string]int64 // per endpoint, answered with an error status
 	hists    map[string]*histogram
+	hop      *histogram // single backend attempt round-trip (send to answer)
 
 	routed       int64 // requests that reached some backend successfully
 	affinityHits int64 // of those, served by their home node
@@ -40,6 +41,7 @@ func newRouterMetrics() *routerMetrics {
 		requests: make(map[string]int64),
 		errors:   make(map[string]int64),
 		hists:    make(map[string]*histogram),
+		hop:      newHistogram(),
 	}
 }
 
@@ -75,6 +77,15 @@ func (m *routerMetrics) observeRequest(endpoint string, d time.Duration, isErr b
 		m.hists[endpoint] = h
 	}
 	h.observe(d.Seconds())
+}
+
+// observeHop records one backend attempt's round trip — request sent to
+// answer (or transport failure) received. Hedged duplicates each count as
+// their own hop, so hop count can exceed request count under retries.
+func (m *routerMetrics) observeHop(d time.Duration) {
+	m.mu.Lock()
+	m.hop.observe(d.Seconds())
+	m.mu.Unlock()
 }
 
 func (m *routerMetrics) observeRouted(affinityHit bool) {
@@ -202,6 +213,18 @@ func (m *routerMetrics) write(w io.Writer, backends []BackendStats, budget float
 	for _, b := range backends {
 		fmt.Fprintf(w, "flumen_router_reinstatements_total{backend=%q} %d\n", b.Name, b.Reinstates)
 	}
+
+	fmt.Fprintf(w, "# HELP flumen_router_hop_seconds Single backend attempt round-trip latency.\n")
+	fmt.Fprintf(w, "# TYPE flumen_router_hop_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.hop.counts[i]
+		fmt.Fprintf(w, "flumen_router_hop_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cum)
+	}
+	cum += m.hop.counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "flumen_router_hop_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "flumen_router_hop_seconds_sum %g\n", m.hop.sum)
+	fmt.Fprintf(w, "flumen_router_hop_seconds_count %d\n", m.hop.total)
 
 	fmt.Fprintf(w, "# HELP flumen_router_request_duration_seconds Admission-to-completion latency per endpoint.\n")
 	fmt.Fprintf(w, "# TYPE flumen_router_request_duration_seconds histogram\n")

@@ -94,20 +94,20 @@ func (rt *Router) handleModelRegister(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			rt.answerError(w, "models", start, http.StatusRequestEntityTooLarge,
+			rt.answerError(w, "models", start, nil, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
 			return
 		}
-		rt.answerError(w, "models", start, http.StatusBadRequest, "reading request body: "+err.Error())
+		rt.answerError(w, "models", start, nil, http.StatusBadRequest, "reading request body: "+err.Error())
 		return
 	}
 	var spec registry.Spec
 	if err := json.Unmarshal(body, &spec); err != nil {
-		rt.answerError(w, "models", start, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		rt.answerError(w, "models", start, nil, http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		rt.answerError(w, "models", start, http.StatusBadRequest, err.Error())
+		rt.answerError(w, "models", start, nil, http.StatusBadRequest, err.Error())
 		return
 	}
 	ref, key := spec.Ref(), spec.RoutingKey()
@@ -120,7 +120,7 @@ func (rt *Router) handleModelRegister(w http.ResponseWriter, r *http.Request) {
 		if b.currentState() == StateEjected {
 			continue // replay on readmission covers it
 		}
-		res := rt.send(ctx, b, "/v1/models", body, reqID)
+		res := rt.send(ctx, b, "/v1/models", body, reqID, false)
 		switch {
 		case res.err != nil:
 			// Unreachable now; readmission replay reconciles it later.
@@ -135,18 +135,18 @@ func (rt *Router) handleModelRegister(w http.ResponseWriter, r *http.Request) {
 		// A backend refused (409 version conflict, 400 bad spec): surface
 		// that verdict even if others acked, so the caller knows the fleet
 		// is not uniformly serving this ref.
-		rt.relay(w, "models", start, rejected, nil)
+		rt.relay(w, "models", start, rejected, nil, nil)
 		return
 	}
 	if acks == 0 {
-		rt.answerError(w, "models", start, http.StatusBadGateway, "no backend accepted the registration")
+		rt.answerError(w, "models", start, nil, http.StatusBadGateway, "no backend accepted the registration")
 		return
 	}
 	rt.modelsMu.Lock()
 	rt.modelDir[ref] = &modelEntry{ref: ref, key: key, body: body}
 	rt.modelsMu.Unlock()
 	rt.met.add(&rt.met.modelRegs, 1)
-	rt.relay(w, "models", start, acked, nil)
+	rt.relay(w, "models", start, acked, nil, nil)
 }
 
 // handleModelList proxies the listing to the first reachable backend (the
@@ -164,14 +164,14 @@ func (rt *Router) handleModelList(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	order, _ := rt.pool.candidates("models")
 	for _, b := range order {
-		res := rt.sendMethod(ctx, b, http.MethodGet, "/v1/models", nil, reqID)
+		res := rt.sendMethod(ctx, b, http.MethodGet, "/v1/models", nil, reqID, false)
 		if res.err == nil && res.status < 500 {
-			rt.relay(w, "models", start, &res, nil)
+			rt.relay(w, "models", start, &res, nil, nil)
 			return
 		}
 	}
 	w.Header().Set("Retry-After", rt.retryAfterSecs())
-	rt.answerError(w, "models", start, http.StatusServiceUnavailable, "no healthy backend available, retry later")
+	rt.answerError(w, "models", start, nil, http.StatusServiceUnavailable, "no healthy backend available, retry later")
 }
 
 // handleModelDelete fans the removal out to every non-ejected backend and
@@ -197,7 +197,7 @@ func (rt *Router) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 		if b.currentState() == StateEjected {
 			continue
 		}
-		res := rt.sendMethod(ctx, b, http.MethodDelete, "/v1/models/"+ref, nil, reqID)
+		res := rt.sendMethod(ctx, b, http.MethodDelete, "/v1/models/"+ref, nil, reqID, false)
 		if res.err == nil {
 			last = &res
 			if res.status == http.StatusOK {
@@ -208,13 +208,13 @@ func (rt *Router) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case acked != nil:
-		rt.relay(w, "models", start, acked, nil)
+		rt.relay(w, "models", start, acked, nil, nil)
 	case last != nil:
 		// Every answer was a miss (404 on each backend): relay the
 		// structured not-found verbatim.
-		rt.relay(w, "models", start, last, nil)
+		rt.relay(w, "models", start, last, nil, nil)
 	default:
-		rt.answerError(w, "models", start, http.StatusBadGateway, "no backend reachable for removal")
+		rt.answerError(w, "models", start, nil, http.StatusBadGateway, "no backend reachable for removal")
 	}
 }
 
@@ -237,7 +237,7 @@ func (rt *Router) replayModels(b *backend) {
 		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.RequestTimeout)
 		defer cancel()
 		for _, e := range entries {
-			res := rt.sendMethod(ctx, b, http.MethodPost, "/v1/models", e.body, serve.NewRequestID())
+			res := rt.sendMethod(ctx, b, http.MethodPost, "/v1/models", e.body, serve.NewRequestID(), false)
 			if res.err != nil || res.status >= 300 {
 				// The next readmission (or a client re-register) retries;
 				// meanwhile the backend can still serve the model's requests

@@ -17,6 +17,7 @@ import (
 
 	"flumen/internal/registry"
 	"flumen/internal/serve"
+	"flumen/internal/trace"
 )
 
 // Router is the cluster front door: it terminates client HTTP, computes the
@@ -31,6 +32,7 @@ type Router struct {
 	met    *routerMetrics
 	budget *retryBudget
 	client *http.Client
+	ring   *trace.Ring
 
 	mux     *http.ServeMux
 	httpSrv *http.Server
@@ -73,9 +75,11 @@ func New(cfg Config) (*Router, error) {
 		mux:      http.NewServeMux(),
 		rnd:      rand.New(rand.NewSource(seed)),
 		modelDir: make(map[string]*modelEntry),
+		ring:     trace.NewRing(cfg.TraceRing),
 	}
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /debug/requests", rt.handleDebugRequests)
 	rt.mux.HandleFunc("POST /v1/matmul", rt.handleProxy("matmul", "/v1/matmul", rt.matmulKey))
 	rt.mux.HandleFunc("POST /v1/conv2d", rt.handleProxy("conv2d", "/v1/conv2d", rt.conv2dKey))
 	rt.mux.HandleFunc("POST /v1/infer", rt.handleProxy("infer", "/v1/infer", rt.inferKey))
@@ -254,28 +258,30 @@ func (rt *Router) handleProxy(endpoint, path string, keyFn func([]byte) (string,
 			reqID = serve.NewRequestID()
 		}
 		w.Header().Set(serve.HeaderRequestID, reqID)
+		tr := rt.traceFor(r, reqID)
 
 		r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				rt.answerError(w, endpoint, start, http.StatusRequestEntityTooLarge,
+				rt.answerError(w, endpoint, start, tr, http.StatusRequestEntityTooLarge,
 					fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
 				return
 			}
-			rt.answerError(w, endpoint, start, http.StatusBadRequest, "reading request body: "+err.Error())
+			rt.answerError(w, endpoint, start, tr, http.StatusBadRequest, "reading request body: "+err.Error())
 			return
 		}
 		key, err := keyFn(body)
 		if err != nil {
 			// Unroutable means unparseable: answer the structured 400 here
 			// rather than wasting a backend round trip.
-			rt.answerError(w, endpoint, start, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			rt.answerError(w, endpoint, start, tr, http.StatusBadRequest, "malformed JSON: "+err.Error())
 			return
 		}
+		tr.Add(trace.StageDecode, time.Since(start))
 		rt.budget.onRequest()
-		rt.forward(w, r, endpoint, path, key, body, reqID, start)
+		rt.forward(w, r, endpoint, path, key, body, reqID, start, tr)
 	}
 }
 
@@ -284,18 +290,24 @@ func (rt *Router) handleProxy(endpoint, path string, keyFn func([]byte) (string,
 // and 5xxs retry while the per-request cap and the cluster retry budget
 // allow. When every candidate is saturated the most recent 503 — with its
 // Retry-After — propagates to the client.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, path, key string, body []byte, reqID string, start time.Time) {
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, path, key string, body []byte, reqID string, start time.Time, tr *trace.Trace) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
+	// The trace header is forwarded only on client opt-in: router-wide
+	// tracing observes at the router without changing what backends do or
+	// what bodies clients get back.
+	traced := r.Header.Get(serve.HeaderTrace) == "1"
 
+	selStart := time.Now()
 	order, home := rt.pool.candidates(key)
 	if rt.cfg.Policy == PolicyRandom {
 		rt.shuffle(order)
 	}
+	tr.Add(trace.StageRouterSelect, time.Since(selStart))
 	if len(order) == 0 {
 		rt.met.add(&rt.met.noBackend, 1)
 		w.Header().Set("Retry-After", rt.retryAfterSecs())
-		rt.answerError(w, endpoint, start, http.StatusServiceUnavailable, "no healthy backend available, retry later")
+		rt.answerError(w, endpoint, start, tr, http.StatusServiceUnavailable, "no healthy backend available, retry later")
 		return
 	}
 
@@ -304,52 +316,68 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, endpoint, path
 	for idx := 0; idx < len(order); {
 		var res attemptResult
 		consumed := 1
+		hopStart := time.Now()
 		if idx == 0 && rt.cfg.HedgeDelay > 0 && len(order) > 1 {
-			res, consumed = rt.hedgedSend(ctx, order[0], order[1], path, body, reqID)
+			res, consumed = rt.hedgedSend(ctx, order[0], order[1], path, body, reqID, traced)
 		} else {
-			res = rt.send(ctx, order[idx], path, body, reqID)
+			res = rt.send(ctx, order[idx], path, body, reqID, traced)
 		}
+		// A hop is one walk step: a hedged step books the race's settle
+		// time, the latency the client actually waited on that attempt.
+		hop := time.Since(hopStart)
+		rt.met.observeHop(hop)
+		tr.Add(trace.StageRouterHop, hop)
 		switch {
 		case res.err != nil:
 			if ctx.Err() != nil {
-				rt.answerError(w, endpoint, start, http.StatusGatewayTimeout, "deadline exceeded")
+				rt.answerError(w, endpoint, start, tr, http.StatusGatewayTimeout, "deadline exceeded")
 				return
 			}
 			if retries < rt.cfg.MaxRetries && idx+consumed < len(order) && rt.budget.take() {
 				retries++
 				rt.met.add(&rt.met.retries, 1)
+				tr.AddRetry()
 				idx += consumed
 				continue
 			}
-			rt.answerError(w, endpoint, start, http.StatusBadGateway, "backend unreachable: "+res.err.Error())
+			rt.answerError(w, endpoint, start, tr, http.StatusBadGateway, "backend unreachable: "+res.err.Error())
 			return
 		case res.status == http.StatusServiceUnavailable:
 			// Backpressure, not failure: spill to the next-preferred healthy
 			// node without consuming retry budget.
 			rt.met.add(&rt.met.spills, 1)
+			tr.AddSpill()
 			last503 = &res
 			idx += consumed
 			continue
 		case res.status >= 500:
+			if res.cancelled() {
+				// The backend reports the client's own request was cancelled
+				// mid-flight. Re-sending the work elsewhere cannot help the
+				// client who gave up; relay the answer as definitive.
+				rt.relay(w, endpoint, start, &res, home, tr)
+				return
+			}
 			if retries < rt.cfg.MaxRetries && idx+consumed < len(order) && rt.budget.take() {
 				retries++
 				rt.met.add(&rt.met.retries, 1)
+				tr.AddRetry()
 				idx += consumed
 				continue
 			}
-			rt.relay(w, endpoint, start, &res, home)
+			rt.relay(w, endpoint, start, &res, home, tr)
 			return
 		default:
-			rt.relay(w, endpoint, start, &res, home)
+			rt.relay(w, endpoint, start, &res, home, tr)
 			return
 		}
 	}
 	if last503 != nil {
-		rt.relay(w, endpoint, start, last503, home)
+		rt.relay(w, endpoint, start, last503, home, tr)
 		return
 	}
 	w.Header().Set("Retry-After", rt.retryAfterSecs())
-	rt.answerError(w, endpoint, start, http.StatusServiceUnavailable, "all backends unavailable, retry later")
+	rt.answerError(w, endpoint, start, tr, http.StatusServiceUnavailable, "all backends unavailable, retry later")
 }
 
 // attemptResult is one backend's answer (or transport failure).
@@ -367,14 +395,34 @@ func (a *attemptResult) definitive() bool {
 	return a.err == nil && a.status != http.StatusServiceUnavailable && a.status < 500
 }
 
+// cancelled reports whether the attempt is a backend's 504 for a request
+// the client itself abandoned — the one 5xx that indicts the client, not
+// the backend, so it must neither count against backend health nor spend
+// retry budget re-running work nobody is waiting for.
+func (a *attemptResult) cancelled() bool {
+	return a.err == nil && a.status == http.StatusGatewayTimeout && errCode(a.body) == serve.CodeCancelled
+}
+
+// errCode extracts the stable machine-readable code from a backend error
+// body ("" when absent or unparseable).
+func errCode(body []byte) string {
+	var e struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &e) != nil {
+		return ""
+	}
+	return e.Code
+}
+
 // send performs one proxied attempt and feeds the passive health signals:
 // transport errors and 5xx count against the backend, 503 counts as alive
 // (the node answered; it is saturated, not sick), 2xx/4xx count as healthy.
-func (rt *Router) send(ctx context.Context, b *backend, path string, body []byte, reqID string) attemptResult {
-	return rt.sendMethod(ctx, b, http.MethodPost, path, body, reqID)
+func (rt *Router) send(ctx context.Context, b *backend, path string, body []byte, reqID string, traced bool) attemptResult {
+	return rt.sendMethod(ctx, b, http.MethodPost, path, body, reqID, traced)
 }
 
-func (rt *Router) sendMethod(ctx context.Context, b *backend, method, path string, body []byte, reqID string) attemptResult {
+func (rt *Router) sendMethod(ctx context.Context, b *backend, method, path string, body []byte, reqID string, traced bool) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
 	b.mu.Lock()
@@ -387,6 +435,9 @@ func (rt *Router) sendMethod(ctx context.Context, b *backend, method, path strin
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.HeaderRequestID, reqID)
+	if traced {
+		req.Header.Set(serve.HeaderTrace, "1")
+	}
 
 	resp, err := rt.client.Do(req)
 	now := time.Now()
@@ -422,6 +473,13 @@ func (rt *Router) sendMethod(ctx context.Context, b *backend, method, path strin
 		if b.observeSuccess(rt.pool.cfg, now) {
 			rt.pool.readmitted(b)
 		}
+	case resp.StatusCode == http.StatusGatewayTimeout && errCode(rb) == serve.CodeCancelled:
+		// The client abandoned its own request; the backend answered
+		// promptly and correctly. Scoring this against the node's health
+		// would let one impatient client eject a perfectly healthy backend.
+		if b.observeSuccess(rt.pool.cfg, now) {
+			rt.pool.readmitted(b)
+		}
 	case resp.StatusCode >= 500:
 		b.mu.Lock()
 		b.errors++
@@ -445,11 +503,11 @@ func (rt *Router) sendMethod(ctx context.Context, b *backend, method, path strin
 // how many candidates were actually engaged (1 if the primary settled — or
 // failed — before the hedge launched), so forward's walk down the
 // preference order never skips an untried backend.
-func (rt *Router) hedgedSend(ctx context.Context, b0, b1 *backend, path string, body []byte, reqID string) (attemptResult, int) {
+func (rt *Router) hedgedSend(ctx context.Context, b0, b1 *backend, path string, body []byte, reqID string, traced bool) (attemptResult, int) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan attemptResult, 2)
-	go func() { ch <- rt.send(hctx, b0, path, body, reqID) }()
+	go func() { ch <- rt.send(hctx, b0, path, body, reqID, traced) }()
 
 	timer := time.NewTimer(rt.cfg.HedgeDelay)
 	defer timer.Stop()
@@ -484,14 +542,14 @@ func (rt *Router) hedgedSend(ctx context.Context, b0, b1 *backend, path string, 
 		case <-timer.C:
 			launched = true
 			rt.met.add(&rt.met.hedges, 1)
-			go func() { ch <- rt.send(hctx, b1, path, body, reqID) }()
+			go func() { ch <- rt.send(hctx, b1, path, body, reqID, traced) }()
 		}
 	}
 }
 
 // relay writes a backend's answer through to the client, preserving the
 // serving node's identity and any backpressure hint.
-func (rt *Router) relay(w http.ResponseWriter, endpoint string, start time.Time, res *attemptResult, home *backend) {
+func (rt *Router) relay(w http.ResponseWriter, endpoint string, start time.Time, res *attemptResult, home *backend, tr *trace.Trace) {
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
@@ -505,14 +563,17 @@ func (rt *Router) relay(w http.ResponseWriter, endpoint string, start time.Time,
 		}
 		w.Header().Set("Retry-After", ra)
 	}
+	wstart := time.Now()
 	w.WriteHeader(res.status)
 	if _, err := w.Write(res.body); err != nil {
 		log.Printf("cluster: relaying response: %v", err)
 	}
+	tr.Add(trace.StageWrite, time.Since(wstart))
 	if res.status < 500 && res.status != http.StatusServiceUnavailable {
 		rt.met.observeRouted(res.b == home)
 	}
 	rt.met.observeRequest(endpoint, time.Since(start), res.status >= 400)
+	rt.finishTrace(tr, endpoint, res.status)
 }
 
 // shuffle randomizes the candidate order (PolicyRandom, the benchmark's
@@ -523,17 +584,24 @@ func (rt *Router) shuffle(order []*backend) {
 	rt.rndMu.Unlock()
 }
 
+// retryAfterSecs renders the Retry-After hint, rounded UP to whole seconds
+// so the hint never tells a client to come back sooner than the configured
+// backoff (a 1.4s config must say 2, not 1), with a floor of 1 because
+// Retry-After: 0 reads as "retry immediately".
 func (rt *Router) retryAfterSecs() string {
-	secs := int(rt.cfg.RetryAfter.Round(time.Second) / time.Second)
+	secs := int((rt.cfg.RetryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
 }
 
-func (rt *Router) answerError(w http.ResponseWriter, endpoint string, start time.Time, code int, msg string) {
+func (rt *Router) answerError(w http.ResponseWriter, endpoint string, start time.Time, tr *trace.Trace, code int, msg string) {
+	wstart := time.Now()
 	writeJSON(w, code, map[string]string{"error": msg})
+	tr.Add(trace.StageWrite, time.Since(wstart))
 	rt.met.observeRequest(endpoint, time.Since(start), true)
+	rt.finishTrace(tr, endpoint, code)
 }
 
 // --- observability ----------------------------------------------------------

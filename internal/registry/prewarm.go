@@ -14,9 +14,19 @@ import (
 // on a single vCPU) while still finishing typical registrations in
 // milliseconds.
 type prewarmer struct {
-	r       *Registry
-	ch      chan *Model
-	queued  atomic.Int64
+	r      *Registry
+	ch     chan *Model
+	queued atomic.Int64
+
+	// mu orders enqueue against stop: a send that wins the lock while
+	// stopping is still false is in the channel before stop closes stopped,
+	// so the worker's final drain always picks it up; an enqueue that loses
+	// the race sees stopping and warms synchronously. Without this ordering
+	// a registration racing Close could park its model in the channel after
+	// the drain — never warmed, pending() stuck above zero forever.
+	mu       sync.Mutex
+	stopping bool
+
 	stopped chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
@@ -39,9 +49,17 @@ func newPrewarmer(r *Registry) *prewarmer {
 // gets warmed.
 func (pw *prewarmer) enqueue(m *Model) {
 	pw.queued.Add(1)
+	pw.mu.Lock()
+	if pw.stopping {
+		pw.mu.Unlock()
+		pw.warm(m)
+		return
+	}
 	select {
 	case pw.ch <- m:
+		pw.mu.Unlock()
 	default:
+		pw.mu.Unlock()
 		pw.warm(m)
 	}
 }
@@ -103,6 +121,9 @@ func (pw *prewarmer) warm(m *Model) {
 }
 
 func (pw *prewarmer) stop() {
+	pw.mu.Lock()
+	pw.stopping = true
+	pw.mu.Unlock()
 	pw.once.Do(func() { close(pw.stopped) })
 	pw.wg.Wait()
 }

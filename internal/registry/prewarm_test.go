@@ -1,0 +1,85 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Regression: an enqueue that lands after stop()'s final drain used to park
+// the model in the buffered channel forever — never warmed, pending() stuck
+// above zero. The fix warms synchronously once stopping is set, so the
+// registration contract (every acked model gets warmed) survives a race
+// with Close.
+func TestPrewarmEnqueueAfterStopWarmsSynchronously(t *testing.T) {
+	eng := &fakeEngine{}
+	r, err := Open(Config{Engine: eng})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	m, _, err := r.Register(testSpec("alpha", "v1", 1))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	waitPrewarmed(t, m)
+
+	// Stop the worker, then enqueue directly — the deterministic ordering
+	// the race produces. The old code's select sent into the drained
+	// channel and returned; nothing ever took the model back out.
+	r.pw.stop()
+	before, _ := eng.counts()
+	r.pw.enqueue(m)
+	after, _ := eng.counts()
+	if after != before+1 {
+		t.Errorf("post-stop enqueue: prewarm calls = %d, want %d (synchronous warm)", after, before+1)
+	}
+	if got := r.pw.pending(); got != 0 {
+		t.Errorf("post-stop enqueue: pending = %d, want 0", got)
+	}
+}
+
+// Stress the enqueue/stop interleaving under the race detector: whatever
+// order the goroutines land in, every model must end up warmed and the
+// pending gauge must return to zero.
+func TestPrewarmStopEnqueueRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		eng := &fakeEngine{}
+		r, err := Open(Config{Engine: eng})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		const n = 8
+		models := make([]*Model, n)
+		for i := range models {
+			m, _, err := r.Register(testSpec(fmt.Sprintf("m%d", i), "v1", int64(i+1)))
+			if err != nil {
+				t.Fatalf("register: %v", err)
+			}
+			models[i] = m
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for _, m := range models {
+			wg.Add(1)
+			go func(m *Model) {
+				defer wg.Done()
+				<-start
+				r.pw.enqueue(m)
+			}(m)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			r.pw.stop()
+		}()
+		close(start)
+		wg.Wait()
+		r.pw.stop() // idempotent; ensures the worker fully drained
+
+		if got := r.pw.pending(); got != 0 {
+			t.Fatalf("round %d: pending = %d after all enqueues settled, want 0", round, got)
+		}
+	}
+}

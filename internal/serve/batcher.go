@@ -1,6 +1,10 @@
 package serve
 
-import "time"
+import (
+	"time"
+
+	"flumen/internal/trace"
+)
 
 // The batcher coalesces consecutive matmul jobs whose weight matrices are
 // bit-identical (WeightFingerprint keys) into one partition-wide engine
@@ -46,6 +50,10 @@ func (s *scheduler) collect(head *job) (batch []*job, next *job) {
 		if !ok {
 			return batch, nil
 		}
+		// Dequeued: the job's wait so far was queueing, whether it joins
+		// this batch or is handed back as the next head (the hand-back case
+		// books its renewed wait when it re-heads in runLoop).
+		j.stage(trace.StageQueueWait)
 		if err := j.ctx.Err(); err != nil {
 			s.met.observeCancelled()
 			j.done <- jobResult{err: err}

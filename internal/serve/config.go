@@ -101,6 +101,19 @@ type Config struct {
 	// mux. Off by default: the profile endpoints expose stacks and timings,
 	// so they are opt-in (flumend -pprof) and meant for trusted networks.
 	EnablePprof bool
+
+	// TraceEnabled turns on per-request stage tracing for every request:
+	// stage durations feed the flumend_stage_seconds histograms, the
+	// /debug/requests ring, and the slow-request log. Individual requests
+	// can opt in with the X-Flumen-Trace: 1 header even when this is off.
+	// Disabled tracing costs only nil-pointer checks on the hot path.
+	TraceEnabled bool
+	// TraceRing bounds the in-memory ring of recent traces served at
+	// /debug/requests (0 = default 256).
+	TraceRing int
+	// SlowRequest, when positive, logs a per-stage breakdown for any traced
+	// request whose end-to-end latency reaches the threshold.
+	SlowRequest time.Duration
 }
 
 // DefaultConfig returns production-leaning defaults on a 32-port fabric.

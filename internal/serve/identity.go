@@ -19,6 +19,12 @@ const (
 	HeaderRequestID = "X-Request-ID"
 	// HeaderNode names the flumend instance that served the response.
 	HeaderNode = "X-Flumen-Node"
+	// HeaderTrace, when "1", opts a single request into stage tracing even
+	// when server-wide tracing is off: the response body carries the
+	// per-stage breakdown and the trace lands in /debug/requests. The
+	// cluster router forwards the header, so one curl traces a request
+	// across both tiers.
+	HeaderTrace = "X-Flumen-Trace"
 )
 
 // reqSeq disambiguates request IDs generated within one process.

@@ -6,6 +6,22 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"flumen/internal/trace"
+)
+
+// Final request outcomes, the label values of
+// flumend_request_outcomes_total. "cancelled" (client went away) is
+// deliberately separated from "deadline": a vanished client is not a
+// backend failure, so it is excluded from flumend_errors_total and from the
+// latency histograms that feed timeout alerts.
+const (
+	outcomeOK        = "ok"
+	outcomeRejected  = "rejected"  // admission-time 503 (queue full, draining, fabric reclaimed)
+	outcomeShed      = "shed"      // dequeued but shed: fabric reclaimed while the job was queued
+	outcomeDeadline  = "deadline"  // 504, the request's deadline expired
+	outcomeCancelled = "cancelled" // client cancelled / disconnected
+	outcomeError     = "error"     // executor-surfaced errors (registry 404s, internal)
 )
 
 // metrics is a small self-contained registry exported in Prometheus text
@@ -20,6 +36,12 @@ type metrics struct {
 	requests map[string]int64
 	errors   map[string]int64
 	hists    map[string]*histogram
+	// outcomes counts every answered request by endpoint and final outcome
+	// (admission-time rejections included, unlike requests_total).
+	outcomes map[string]map[string]int64
+	// stages holds one latency histogram per trace stage, fed by completed
+	// traces (flumend_stage_seconds).
+	stages [trace.NumStages]*histogram
 	// Admission-control accounting.
 	rejected  int64 // queue-full 503s
 	cancelled int64 // requests abandoned before execution (deadline/client gone)
@@ -38,13 +60,18 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	m := &metrics{
 		start:    time.Now(),
 		requests: make(map[string]int64),
 		errors:   make(map[string]int64),
 		hists:    make(map[string]*histogram),
+		outcomes: make(map[string]map[string]int64),
 		byref:    make(map[string]int64),
 	}
+	for i := range m.stages {
+		m.stages[i] = newHistogram()
+	}
+	return m
 }
 
 // latencyBuckets are the histogram upper bounds in seconds.
@@ -67,11 +94,19 @@ func (h *histogram) observe(seconds float64) {
 	h.total++
 }
 
-func (m *metrics) observeRequest(endpoint string, d time.Duration, err bool) {
+func (m *metrics) observeRequest(endpoint string, d time.Duration, outcome string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[endpoint]++
-	if err {
+	m.bumpOutcome(endpoint, outcome)
+	if outcome == outcomeOK {
+		// fall through to the histogram
+	} else if outcome == outcomeCancelled {
+		// The client left: its "latency" measures the client's patience, not
+		// this server, so it stays out of both the error counter and the
+		// latency histogram that feed timeout alerts.
+		return
+	} else {
 		m.errors[endpoint]++
 	}
 	h := m.hists[endpoint]
@@ -80,6 +115,37 @@ func (m *metrics) observeRequest(endpoint string, d time.Duration, err bool) {
 		m.hists[endpoint] = h
 	}
 	h.observe(d.Seconds())
+}
+
+// observeAdmission books the outcome of a request rejected at admission,
+// which never counts toward requests_total (that counter means "admitted").
+func (m *metrics) observeAdmission(endpoint, outcome string) {
+	m.mu.Lock()
+	m.bumpOutcome(endpoint, outcome)
+	m.mu.Unlock()
+}
+
+// bumpOutcome increments the per-endpoint outcome counter; callers hold mu.
+func (m *metrics) bumpOutcome(endpoint, outcome string) {
+	byOutcome := m.outcomes[endpoint]
+	if byOutcome == nil {
+		byOutcome = make(map[string]int64)
+		m.outcomes[endpoint] = byOutcome
+	}
+	byOutcome[outcome]++
+}
+
+// observeStages folds one completed trace into the per-stage histograms.
+// Stages the request never entered (zero duration) are skipped, so e.g.
+// router-only stages never pollute flumend's exposition.
+func (m *metrics) observeStages(rec trace.Record) {
+	m.mu.Lock()
+	for s := trace.Stage(0); s < trace.NumStages; s++ {
+		if d := rec.Duration(s); d > 0 {
+			m.stages[s].observe(d.Seconds())
+		}
+	}
+	m.mu.Unlock()
 }
 
 func (m *metrics) observeRejected() {
@@ -215,6 +281,14 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, acc accelSnapshot
 	fmt.Fprintf(w, "# TYPE flumend_errors_total counter\n")
 	for _, ep := range sortedKeys(m.errors) {
 		fmt.Fprintf(w, "flumend_errors_total{endpoint=%q} %d\n", ep, m.errors[ep])
+	}
+
+	fmt.Fprintf(w, "# HELP flumend_request_outcomes_total Final request outcomes per endpoint; cancelled means the client went away and is not an error.\n")
+	fmt.Fprintf(w, "# TYPE flumend_request_outcomes_total counter\n")
+	for _, ep := range sortedKeys(m.outcomes) {
+		for _, oc := range sortedKeys(m.outcomes[ep]) {
+			fmt.Fprintf(w, "flumend_request_outcomes_total{endpoint=%q,outcome=%q} %d\n", ep, oc, m.outcomes[ep][oc])
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP flumend_rejected_total Requests shed with 503 because the admission queue was full.\n")
@@ -392,6 +466,25 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, acc accelSnapshot
 	fmt.Fprintf(w, "# HELP flumend_registry_prewarm_hits_total By-reference requests whose model was already prewarmed (zero cold compiles on the request path).\n")
 	fmt.Fprintf(w, "# TYPE flumend_registry_prewarm_hits_total counter\n")
 	fmt.Fprintf(w, "flumend_registry_prewarm_hits_total %d\n", m.prewarmHits)
+
+	fmt.Fprintf(w, "# HELP flumend_stage_seconds Per-stage time of traced requests; lease_wait and compute are engine sub-stages that overlap exec.\n")
+	fmt.Fprintf(w, "# TYPE flumend_stage_seconds histogram\n")
+	for s := trace.Stage(0); s < trace.NumStages; s++ {
+		h := m.stages[s]
+		if h.total == 0 {
+			continue
+		}
+		name := s.String()
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "flumend_stage_seconds_bucket{stage=%q,le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "flumend_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "flumend_stage_seconds_sum{stage=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "flumend_stage_seconds_count{stage=%q} %d\n", name, h.total)
+	}
 
 	fmt.Fprintf(w, "# HELP flumend_request_duration_seconds Admission-to-completion latency per endpoint.\n")
 	fmt.Fprintf(w, "# TYPE flumend_request_duration_seconds histogram\n")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"flumen/internal/trace"
 	"flumen/internal/wfp"
 )
 
@@ -35,6 +36,10 @@ type MatMulResponse struct {
 	Batched int `json:"batched"`
 	// ElapsedMS is wall time from admission to completion.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Trace is the per-stage breakdown, present only when the request
+	// carried X-Flumen-Trace: 1. Snapshotted before the response write, so
+	// the write stage appears only in the /debug/requests record.
+	Trace *trace.Record `json:"trace,omitempty"`
 }
 
 // Conv2DRequest asks for an im2col convolution. Input is
@@ -55,6 +60,7 @@ type Conv2DRequest struct {
 type Conv2DResponse struct {
 	Output    [][][]float64 `json:"output"`
 	ElapsedMS float64       `json:"elapsed_ms"`
+	Trace     *trace.Record `json:"trace,omitempty"`
 }
 
 // InferRequest runs one of the built-in workload DNNs (bare model names) or
@@ -70,10 +76,11 @@ type InferRequest struct {
 
 // InferResponse returns the class scores and argmax prediction.
 type InferResponse struct {
-	Model     string    `json:"model"`
-	Logits    []float64 `json:"logits"`
-	Class     int       `json:"class"`
-	ElapsedMS float64   `json:"elapsed_ms"`
+	Model     string        `json:"model"`
+	Logits    []float64     `json:"logits"`
+	Class     int           `json:"class"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Trace     *trace.Record `json:"trace,omitempty"`
 }
 
 // HealthResponse is the /healthz body. Status is "ok", or "degraded" while
@@ -117,6 +124,12 @@ const (
 	CodeCancelled       = "cancelled"
 	CodeInternal        = "internal"
 )
+
+// StatusClientClosed is the status recorded in traces and the ring for a
+// request whose client disconnected before the answer: no response is
+// written (there is no one left to read it), so no standard status applies.
+// 499 follows the nginx convention for "client closed request".
+const StatusClientClosed = 499
 
 type errorResponse struct {
 	Error string `json:"error"`

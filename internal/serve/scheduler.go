@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flumen"
+	"flumen/internal/trace"
 )
 
 // Admission and dispatch. Requests enter a bounded queue (backpressure: a
@@ -48,6 +49,25 @@ type job struct {
 	// done receives exactly one result; buffered so the executor never
 	// blocks on a handler that gave up.
 	done chan jobResult
+
+	// tr is the request's trace (nil = untraced; every recording site is a
+	// nil check, so disabled tracing costs no allocations). mark is the
+	// start of the stage the job is currently in, advanced by stage() —
+	// executor-side only, so it never races the handler.
+	tr   *trace.Trace
+	mark time.Time
+}
+
+// stage attributes the time since the last mark to s and advances the mark.
+// The executor calls it at each stage boundary: dequeue (queue_wait), engine
+// call start (coalesce), engine call end (exec).
+func (j *job) stage(s trace.Stage) {
+	if j.tr == nil {
+		return
+	}
+	now := time.Now()
+	j.tr.Add(s, now.Sub(j.mark))
+	j.mark = now
 }
 
 type jobResult struct {
@@ -167,6 +187,11 @@ func (s *scheduler) runLoop() {
 				return
 			}
 		}
+		// Fresh dequeues book the time since admission as queue wait; a head
+		// handed back by the batcher books the time it spent waiting behind
+		// the prior batch's engine call — from the client's perspective both
+		// are queueing.
+		j.stage(trace.StageQueueWait)
 		if err := j.ctx.Err(); err != nil {
 			// Cancelled while queued: abandon without touching the fabric.
 			s.met.observeCancelled()
@@ -207,7 +232,20 @@ func (s *scheduler) executeDirect(j *job) {
 	start := time.Now()
 	out, err := j.run(ctx)
 	s.met.observeBatch(1, time.Since(start))
+	j.stage(trace.StageExec)
 	j.done <- jobResult{direct: out, batched: 1, err: err}
+}
+
+// batchTraceGroup collects the traces of a batch's members, or nil when no
+// member is traced (the common case with tracing off: no allocation).
+func batchTraceGroup(batch []*job) trace.Group {
+	var g trace.Group
+	for _, j := range batch {
+		if j.tr != nil {
+			g = append(g, j.tr)
+		}
+	}
+	return g
 }
 
 // executeBatch runs one engine call for every live member of the batch and
@@ -235,13 +273,27 @@ func (s *scheduler) executeBatch(batch []*job) {
 	cancel := context.CancelFunc(func() {})
 	if len(live) == 1 {
 		ctx, cancel = s.jobCtx(live[0].ctx)
+	} else if g := batchTraceGroup(live); g != nil {
+		// A coalesced batch runs on the scheduler-lifetime context, which
+		// carries no request trace; fan the members' traces back in so the
+		// engine's lease-wait/compute stages land on every traced member.
+		ctx = trace.NewContext(s.baseCtx, g)
 	}
 	defer cancel()
 
 	xAll := concatColumns(live)
+	for _, j := range live {
+		// Time from each member's dequeue to the shared engine call is
+		// coalesce wait (the head lingered for the batch window; members
+		// joined partway through).
+		j.stage(trace.StageCoalesce)
+	}
 	start := time.Now()
 	c, err := s.acc.MatMulCtx(ctx, live[0].m, xAll)
 	s.met.observeBatch(len(live), time.Since(start))
+	for _, j := range live {
+		j.stage(trace.StageExec)
+	}
 	if err != nil {
 		for _, j := range live {
 			j.done <- jobResult{err: err}

@@ -16,6 +16,7 @@ import (
 	"flumen"
 	"flumen/internal/fabric"
 	"flumen/internal/registry"
+	"flumen/internal/trace"
 )
 
 // Server is the flumend HTTP front end: handlers decode and validate
@@ -29,6 +30,7 @@ type Server struct {
 	met     *metrics
 	models  map[string]*inferModel
 	reg     *registry.Registry
+	ring    *trace.Ring // recent request traces, served at /debug/requests
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped with the identity middleware
 
@@ -81,6 +83,7 @@ func New(cfg Config) (*Server, error) {
 		acc:    acc,
 		met:    newMetrics(),
 		models: buildModels(cfg.InferSeed),
+		ring:   trace.NewRing(cfg.TraceRing),
 		mux:    http.NewServeMux(),
 	}
 	// The registry opens after the cache size is final (SetProgramCacheSize
@@ -106,6 +109,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
 	s.mux.HandleFunc("DELETE /v1/models/{ref}", s.handleModelDelete)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	if cfg.EnablePprof {
 		// Index serves every named profile (heap, goroutine, mutex, block,
 		// allocs) under the prefix; the four fixed handlers are the ones the
@@ -331,6 +335,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
+	hstart := time.Now()
+	tr := s.traceFor(r)
 	var req MatMulRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -364,31 +370,52 @@ func (s *Server) handleMatMul(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqContext(r, req.TimeoutMS)
 	defer cancel()
+	if tr != nil {
+		// Everything up to here — body read, JSON decode, validation, model
+		// resolution — is the decode stage; the context carries the trace
+		// down to the engine's lease-wait/compute hooks.
+		tr.Add(trace.StageDecode, time.Since(hstart))
+		ctx = trace.NewContext(ctx, tr)
+	}
 
+	now := time.Now()
 	j := &job{
 		ctx:      ctx,
 		endpoint: "matmul",
-		enq:      time.Now(),
+		enq:      now,
 		key:      key,
 		m:        req.M,
 		x:        req.X,
 		done:     make(chan jobResult, 1),
+		tr:       tr,
+		mark:     now,
 	}
 	if !s.admit(w, j) {
 		return
 	}
-	res, ok := s.await(w, ctx, j)
+	res, ok := s.await(w, r, ctx, j)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, MatMulResponse{
+	tr.SetBatched(res.batched)
+	resp := MatMulResponse{
 		C:         res.matmul,
 		Batched:   res.batched,
 		ElapsedMS: float64(time.Since(j.enq).Microseconds()) / 1000,
-	})
+	}
+	if tr != nil && wantTraceBody(r) {
+		rec := tr.Record("matmul", http.StatusOK)
+		resp.Trace = &rec
+	}
+	wstart := time.Now()
+	writeJSON(w, http.StatusOK, resp)
+	tr.Add(trace.StageWrite, time.Since(wstart))
+	s.finishTrace(tr, "matmul", http.StatusOK)
 }
 
 func (s *Server) handleConv2D(w http.ResponseWriter, r *http.Request) {
+	hstart := time.Now()
+	tr := s.traceFor(r)
 	var req Conv2DRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -417,12 +444,19 @@ func (s *Server) handleConv2D(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqContext(r, req.TimeoutMS)
 	defer cancel()
+	if tr != nil {
+		tr.Add(trace.StageDecode, time.Since(hstart))
+		ctx = trace.NewContext(ctx, tr)
+	}
 
+	now := time.Now()
 	j := &job{
 		ctx:      ctx,
 		endpoint: "conv2d",
-		enq:      time.Now(),
+		enq:      now,
 		done:     make(chan jobResult, 1),
+		tr:       tr,
+		mark:     now,
 		run: func(ctx context.Context) (any, error) {
 			return s.acc.Conv2DCtx(ctx, req.Input, req.Kernels, req.Stride, req.Pad)
 		},
@@ -430,17 +464,28 @@ func (s *Server) handleConv2D(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, j) {
 		return
 	}
-	res, ok := s.await(w, ctx, j)
+	res, ok := s.await(w, r, ctx, j)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, Conv2DResponse{
+	tr.SetBatched(res.batched)
+	resp := Conv2DResponse{
 		Output:    res.direct.([][][]float64),
 		ElapsedMS: float64(time.Since(j.enq).Microseconds()) / 1000,
-	})
+	}
+	if tr != nil && wantTraceBody(r) {
+		rec := tr.Record("conv2d", http.StatusOK)
+		resp.Trace = &rec
+	}
+	wstart := time.Now()
+	writeJSON(w, http.StatusOK, resp)
+	tr.Add(trace.StageWrite, time.Since(wstart))
+	s.finishTrace(tr, "conv2d", http.StatusOK)
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	hstart := time.Now()
+	tr := s.traceFor(r)
 	var req InferRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -474,12 +519,19 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqContext(r, req.TimeoutMS)
 	defer cancel()
+	if tr != nil {
+		tr.Add(trace.StageDecode, time.Since(hstart))
+		ctx = trace.NewContext(ctx, tr)
+	}
 
+	now := time.Now()
 	j := &job{
 		ctx:      ctx,
 		endpoint: "infer",
-		enq:      time.Now(),
+		enq:      now,
 		done:     make(chan jobResult, 1),
+		tr:       tr,
+		mark:     now,
 		run: func(ctx context.Context) (any, error) {
 			return model.infer(ctx, s.acc, &req)
 		},
@@ -487,17 +539,26 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, j) {
 		return
 	}
-	res, ok2 := s.await(w, ctx, j)
+	res, ok2 := s.await(w, r, ctx, j)
 	if !ok2 {
 		return
 	}
+	tr.SetBatched(res.batched)
 	logits := res.direct.([]float64)
-	writeJSON(w, http.StatusOK, InferResponse{
+	resp := InferResponse{
 		Model:     req.Model,
 		Logits:    logits,
 		Class:     argmax(logits),
 		ElapsedMS: float64(time.Since(j.enq).Microseconds()) / 1000,
-	})
+	}
+	if tr != nil && wantTraceBody(r) {
+		rec := tr.Record("infer", http.StatusOK)
+		resp.Trace = &rec
+	}
+	wstart := time.Now()
+	writeJSON(w, http.StatusOK, resp)
+	tr.Add(trace.StageWrite, time.Since(wstart))
+	s.finishTrace(tr, "infer", http.StatusOK)
 }
 
 // decode reads and unmarshals the request body, answering 400/413 itself:
@@ -535,9 +596,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// retryAfterSecs is the Retry-After hint, rounded up to whole seconds.
+// retryAfterSecs is the Retry-After hint, rounded up to whole seconds with
+// ceiling division — RetryAfter=1400ms must hint "2", not "1", or clients
+// retry before the hinted interval has passed and hit the same backpressure
+// again. Floors at 1 second (the header has no sub-second form).
 func (s *Server) retryAfterSecs() string {
-	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
@@ -548,6 +612,7 @@ func (s *Server) retryAfterSecs() string {
 func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 	if err := s.sched.submit(j); err != nil {
 		s.met.observeRejected()
+		s.met.observeAdmission(j.endpoint, outcomeRejected)
 		w.Header().Set("Retry-After", s.retryAfterSecs())
 		msg, code := "admission queue full, retry later", CodeQueueFull
 		switch {
@@ -556,7 +621,7 @@ func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 		case errors.Is(err, errNoCapacity):
 			msg, code = "fabric reclaimed for network traffic, retry later", CodeNoCapacity
 		}
-		writeErrorCode(w, http.StatusServiceUnavailable, code, msg)
+		s.answer(w, j, http.StatusServiceUnavailable, code, msg)
 		return false
 	}
 	return true
@@ -564,7 +629,7 @@ func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 
 // await blocks until the job completes or its context expires, mapping
 // outcomes onto status codes. Returns (result, true) only on success.
-func (s *Server) await(w http.ResponseWriter, ctx context.Context, j *job) (jobResult, bool) {
+func (s *Server) await(w http.ResponseWriter, r *http.Request, ctx context.Context, j *job) (jobResult, bool) {
 	var res jobResult
 	select {
 	case res = <-j.done:
@@ -574,30 +639,42 @@ func (s *Server) await(w http.ResponseWriter, ctx context.Context, j *job) (jobR
 	elapsed := time.Since(j.enq)
 	switch {
 	case res.err == nil:
-		s.met.observeRequest(j.endpoint, elapsed, false)
+		s.met.observeRequest(j.endpoint, elapsed, outcomeOK)
 		return res, true
 	case errors.Is(res.err, errNoCapacity):
 		// The fabric was reclaimed while the job waited in the queue and the
 		// executor shed it: same 503 backpressure as an admission-time shed.
-		s.met.observeRequest(j.endpoint, elapsed, true)
+		s.met.observeRequest(j.endpoint, elapsed, outcomeShed)
 		w.Header().Set("Retry-After", s.retryAfterSecs())
-		writeErrorCode(w, http.StatusServiceUnavailable, CodeNoCapacity, "fabric reclaimed for network traffic, retry later")
+		s.answer(w, j, http.StatusServiceUnavailable, CodeNoCapacity, "fabric reclaimed for network traffic, retry later")
 	case errors.Is(res.err, context.DeadlineExceeded):
-		s.met.observeRequest(j.endpoint, elapsed, true)
-		writeErrorCode(w, http.StatusGatewayTimeout, CodeDeadline, "deadline exceeded")
+		s.met.observeRequest(j.endpoint, elapsed, outcomeDeadline)
+		s.answer(w, j, http.StatusGatewayTimeout, CodeDeadline, "deadline exceeded")
 	case errors.Is(res.err, context.Canceled):
-		// Client went away; nothing useful to write.
-		s.met.observeRequest(j.endpoint, elapsed, true)
-		writeErrorCode(w, http.StatusGatewayTimeout, CodeCancelled, "request cancelled")
+		// Client cancellation, not a backend failure: booked under its own
+		// outcome so it never pollutes the error counters and latency
+		// histograms that feed timeout alerts.
+		s.met.observeRequest(j.endpoint, elapsed, outcomeCancelled)
+		if r.Context().Err() != nil {
+			// The client connection is provably gone — nobody is left to
+			// read a response, so skip the write entirely.
+			s.finishTrace(j.tr, j.endpoint, StatusClientClosed)
+			return res, false
+		}
+		// Cancelled with the client still connected (shutdown revoked
+		// in-flight work): the 504 answer still says "cancelled", and the
+		// router knows not to score it against this backend's health.
+		s.answer(w, j, http.StatusGatewayTimeout, CodeCancelled, "request cancelled")
 	case errors.Is(res.err, registry.ErrUnknownModel) || errors.Is(res.err, registry.ErrUnknownVersion):
 		// A registry resolution error that surfaced from the executor (a
 		// model removed while the job was queued) is still a structured 404
 		// with its stable code, never a plain-text 500.
-		s.met.observeRequest(j.endpoint, elapsed, true)
+		s.met.observeRequest(j.endpoint, elapsed, outcomeError)
 		writeRegistryError(w, res.err)
+		s.finishTrace(j.tr, j.endpoint, http.StatusNotFound)
 	default:
-		s.met.observeRequest(j.endpoint, elapsed, true)
-		writeErrorCode(w, http.StatusInternalServerError, CodeInternal, res.err.Error())
+		s.met.observeRequest(j.endpoint, elapsed, outcomeError)
+		s.answer(w, j, http.StatusInternalServerError, CodeInternal, res.err.Error())
 	}
 	return res, false
 }
