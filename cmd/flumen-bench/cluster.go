@@ -48,16 +48,16 @@ type clusterArm struct {
 }
 
 type clusterResult struct {
-	Backends     int         `json:"backends"`
-	Matrices     int         `json:"matrices"`
-	MatrixDim    int         `json:"matrix_dim"`
-	NRHS         int         `json:"nrhs"`
-	CachePerNode int         `json:"cache_per_node"`
-	Concurrency  int         `json:"concurrency"`
-	Smoke        bool        `json:"smoke"`
-	Affinity     clusterArm  `json:"affinity"`
-	Random       clusterArm  `json:"random"`
-	Speedup      float64     `json:"speedup_affinity_over_random"`
+	Backends     int        `json:"backends"`
+	Matrices     int        `json:"matrices"`
+	MatrixDim    int        `json:"matrix_dim"`
+	NRHS         int        `json:"nrhs"`
+	CachePerNode int        `json:"cache_per_node"`
+	Concurrency  int        `json:"concurrency"`
+	Smoke        bool       `json:"smoke"`
+	Affinity     clusterArm `json:"affinity"`
+	Random       clusterArm `json:"random"`
+	Speedup      float64    `json:"speedup_affinity_over_random"`
 }
 
 func runClusterBench(out string, smoke bool) error {
@@ -148,10 +148,15 @@ func runClusterBench(out string, smoke bool) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 
+	// Bitwise divergence is a correctness failure regardless of mode: a
+	// bench that silently recorded bitwise_equal=false in JSON would let a
+	// broken fabric ship with a green exit code.
+	if !res.Affinity.BitwiseEqual || !res.Random.BitwiseEqual {
+		return fmt.Errorf("cluster bench: responses diverged bitwise from the single-node reference (affinity=%v random=%v)",
+			res.Affinity.BitwiseEqual, res.Random.BitwiseEqual)
+	}
 	if smoke {
 		switch {
-		case !res.Affinity.BitwiseEqual || !res.Random.BitwiseEqual:
-			return fmt.Errorf("cluster smoke: responses diverged from the single-node reference")
 		case res.Affinity.Errors > 0 || res.Random.Errors > 0:
 			return fmt.Errorf("cluster smoke: %d/%d request errors (affinity/random)", res.Affinity.Errors, res.Random.Errors)
 		case !res.Affinity.CleanDrain || !res.Random.CleanDrain:

@@ -44,6 +44,10 @@
 // store, writing BENCH_registry.json; -smoke shrinks the run and fails
 // unless responses match bitwise, by-name requests shrink materially, and
 // the post-restart first request adds zero cache misses.
+//
+// Bitwise equality is enforced in every mode, smoke or not: any arm whose
+// responses diverge from its reference exits non-zero, never just a
+// bitwise_equal:false field in the JSON.
 package main
 
 import (

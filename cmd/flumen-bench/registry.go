@@ -226,10 +226,14 @@ func runRegistryBench(out string, smoke bool) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 
+	// Bitwise divergence fails the run in every mode, not just -smoke: the
+	// JSON records it, but the exit code is what CI acts on.
+	if !res.Inline.BitwiseEqual || !res.ByName.BitwiseEqual {
+		return fmt.Errorf("registry bench: responses diverged bitwise from the local reference (inline=%v by-name=%v)",
+			res.Inline.BitwiseEqual, res.ByName.BitwiseEqual)
+	}
 	if smoke {
 		switch {
-		case !res.Inline.BitwiseEqual || !res.ByName.BitwiseEqual:
-			return fmt.Errorf("registry smoke: by-name responses diverged from the inline reference")
 		case res.BytesReduction <= 2:
 			return fmt.Errorf("registry smoke: by-name requests are not materially smaller (%.1f×)", res.BytesReduction)
 		case res.RestartMissDelta != 0:

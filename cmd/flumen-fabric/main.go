@@ -126,8 +126,8 @@ func runSmoke(nodes int, np core.NetworkParams) int {
 	o := fabricrun.Options{
 		Ports: 32, Block: 8, Nodes: nodes,
 		WidthBits: np.MZIMWidthBits, SetupCycles: np.MZIMSetupCycles,
-		Rate:    0.05,
-		Warmup:  1000, Measure: 3000, Drain: 15000,
+		Rate:   0.05,
+		Warmup: 1000, Measure: 3000, Drain: 15000,
 		Fabric: fcfg, Compute: true,
 	}
 	mixed, err := fabricrun.Run(o)

@@ -1,0 +1,175 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The perf-regression gate: a fresh bench run is compared against a
+// committed baseline Result with per-metric tolerance bands. Correctness
+// legs (conformance failures, digest equality) are exact — they are
+// machine-independent by construction. Perf legs (throughput, latency
+// percentiles) get generous bands because CI runners are not the machine
+// the baseline was recorded on; the bands catch step-function regressions
+// (a lost fast path, an accidental serialization), not single-digit
+// percentage drift.
+
+// Tolerance is the per-metric band. Zero values mean "use the default"; a
+// negative ThroughputDrop or LatencyRise disables that perf leg. The
+// error-rate leg cannot be disabled — negative floors at 0 (no errors
+// tolerated).
+type Tolerance struct {
+	// ThroughputDrop is the maximum allowed fractional throughput drop vs
+	// the baseline (0.5 = current may be as low as half the baseline).
+	ThroughputDrop float64 `json:"throughput_drop"`
+	// LatencyRise is the maximum allowed fractional rise of p50/p99 latency
+	// vs the baseline (1.5 = current may be up to 2.5× the baseline).
+	LatencyRise float64 `json:"latency_rise"`
+	// ErrorRate is the maximum absolute error rate allowed in the current
+	// run, regardless of the baseline (perf baselines are recorded
+	// error-free; any error under gate load is a regression).
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// DefaultTolerance returns the CI bands: wide enough to absorb runner
+// variance, tight enough that a 2× step change fails.
+func DefaultTolerance() Tolerance {
+	return Tolerance{ThroughputDrop: 0.5, LatencyRise: 1.5, ErrorRate: 0}
+}
+
+func (t *Tolerance) normalize() {
+	d := DefaultTolerance()
+	if t.ThroughputDrop == 0 {
+		t.ThroughputDrop = d.ThroughputDrop
+	}
+	if t.LatencyRise == 0 {
+		t.LatencyRise = d.LatencyRise
+	}
+	// ErrorRate zero IS the default (no errors tolerated).
+	if t.ErrorRate < 0 {
+		t.ErrorRate = 0
+	}
+}
+
+// Regression is one violated band.
+type Regression struct {
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Limit    float64 `json:"limit"`
+	Detail   string  `json:"detail"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: baseline %.4g, current %.4g, limit %.4g — %s",
+		r.Metric, r.Baseline, r.Current, r.Limit, r.Detail)
+}
+
+// Compare gates a fresh run against a baseline. It returns the violated
+// bands (empty = pass) and an error only when the two results are not
+// comparable at all (different workloads).
+func Compare(baseline, current *Result, tol Tolerance) ([]Regression, error) {
+	tol.normalize()
+	if baseline.RequestDigest != "" && current.RequestDigest != "" &&
+		baseline.RequestDigest != current.RequestDigest {
+		return nil, fmt.Errorf("loadgen: request streams differ (baseline digest %.12s…, current %.12s…): refusing to compare different workloads — refresh the baseline",
+			baseline.RequestDigest, current.RequestDigest)
+	}
+
+	var regs []Regression
+
+	// Correctness legs first: exact, machine-independent.
+	if current.ConformanceFailures > 0 {
+		regs = append(regs, Regression{
+			Metric:  "conformance_failures",
+			Current: float64(current.ConformanceFailures),
+			Detail:  "responses diverged bitwise from the local reference",
+		})
+	}
+	if baseline.Checked && current.Checked &&
+		baseline.ConformanceDigest != "" && current.ConformanceDigest != "" &&
+		baseline.ConformanceDigest != current.ConformanceDigest {
+		regs = append(regs, Regression{
+			Metric: "conformance_digest",
+			Detail: fmt.Sprintf("expected-output digest changed (baseline %.12s…, current %.12s…): the fabric computes different bits than when the baseline was recorded",
+				baseline.ConformanceDigest, current.ConformanceDigest),
+		})
+	}
+	if tol.ErrorRate >= 0 && current.ErrorRate > tol.ErrorRate {
+		regs = append(regs, Regression{
+			Metric:   "error_rate",
+			Baseline: baseline.ErrorRate,
+			Current:  current.ErrorRate,
+			Limit:    tol.ErrorRate,
+			Detail:   fmt.Sprintf("%d/%d requests failed", current.Errors, current.Requests),
+		})
+	}
+
+	// Perf legs: banded ratios against the baseline.
+	if tol.ThroughputDrop >= 0 && baseline.ThroughputRPS > 0 {
+		floor := baseline.ThroughputRPS * (1 - tol.ThroughputDrop)
+		if current.ThroughputRPS < floor {
+			regs = append(regs, Regression{
+				Metric:   "throughput_rps",
+				Baseline: baseline.ThroughputRPS,
+				Current:  current.ThroughputRPS,
+				Limit:    floor,
+				Detail:   fmt.Sprintf("throughput fell more than %.0f%% below baseline", tol.ThroughputDrop*100),
+			})
+		}
+	}
+	if tol.LatencyRise >= 0 {
+		for _, leg := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"latency_p50_ms", baseline.Latency.P50MS, current.Latency.P50MS},
+			{"latency_p99_ms", baseline.Latency.P99MS, current.Latency.P99MS},
+		} {
+			if leg.base <= 0 {
+				continue
+			}
+			ceil := leg.base * (1 + tol.LatencyRise)
+			if leg.cur > ceil {
+				regs = append(regs, Regression{
+					Metric:   leg.name,
+					Baseline: leg.base,
+					Current:  leg.cur,
+					Limit:    ceil,
+					Detail:   fmt.Sprintf("latency rose more than %.0f%% above baseline", tol.LatencyRise*100),
+				})
+			}
+		}
+	}
+	return regs, nil
+}
+
+// ReadResult loads a Result JSON file (a committed baseline or a fresh
+// bench report).
+func ReadResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+	}
+	return &res, nil
+}
+
+// WriteResult writes a Result as indented JSON.
+func WriteResult(path string, res *Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchResult() *Result {
+	return &Result{
+		Mode:              "bench",
+		RequestDigest:     "abc123",
+		Checked:           true,
+		ConformanceDigest: "deadbeef",
+		Requests:          200,
+		OK:                200,
+		ErrorRate:         0,
+		ThroughputRPS:     400,
+		Latency:           LatencySummary{MeanMS: 2, P50MS: 2, P90MS: 4, P99MS: 8, MaxMS: 12},
+	}
+}
+
+// A run identical to its baseline must pass the gate.
+func TestGatePassesOnIdenticalRun(t *testing.T) {
+	base, cur := benchResult(), benchResult()
+	regs, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical runs flagged %d regressions: %v", len(regs), regs)
+	}
+}
+
+// Variance inside the bands must not trip the gate: CI runners are slower
+// and noisier than the machine the baseline was recorded on.
+func TestGateToleratesInBandVariance(t *testing.T) {
+	base, cur := benchResult(), benchResult()
+	cur.ThroughputRPS = base.ThroughputRPS * 0.6 // 40% drop < 50% band
+	cur.Latency.P50MS = base.Latency.P50MS * 2   // 100% rise < 150% band
+	cur.Latency.P99MS = base.Latency.P99MS * 2.2
+	regs, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("in-band variance flagged: %v", regs)
+	}
+}
+
+// The acceptance-criterion test: a synthetic regression on every leg must
+// be detected.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	base, cur := benchResult(), benchResult()
+	cur.ThroughputRPS = base.ThroughputRPS * 0.3 // 70% drop > 50% band
+	cur.Latency.P50MS = base.Latency.P50MS * 4   // 300% rise > 150% band
+	cur.Latency.P99MS = base.Latency.P99MS * 4
+	cur.Errors = 10
+	cur.OK = 190
+	cur.ErrorRate = 0.05
+	cur.ConformanceFailures = 3
+	cur.ConformanceDigest = "feedface"
+
+	regs, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	want := []string{
+		"conformance_failures",
+		"conformance_digest",
+		"error_rate",
+		"throughput_rps",
+		"latency_p50_ms",
+		"latency_p99_ms",
+	}
+	got := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		got[r.Metric] = true
+	}
+	for _, m := range want {
+		if !got[m] {
+			t.Errorf("regression on %s not detected (got %v)", m, regs)
+		}
+	}
+	if len(regs) != len(want) {
+		t.Errorf("got %d regressions, want %d: %v", len(regs), len(want), regs)
+	}
+}
+
+// A lone conformance divergence must fail the gate even when every perf
+// number improved.
+func TestGateFailsOnConformanceAlone(t *testing.T) {
+	base, cur := benchResult(), benchResult()
+	cur.ThroughputRPS = base.ThroughputRPS * 3
+	cur.Latency.P99MS = base.Latency.P99MS / 4
+	cur.ConformanceFailures = 1
+	regs, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "conformance_failures" {
+		t.Fatalf("want exactly the conformance_failures regression, got %v", regs)
+	}
+}
+
+// Differing request digests mean the workloads aren't comparable at all —
+// that's an error, not a pass.
+func TestGateRefusesDifferentWorkloads(t *testing.T) {
+	base, cur := benchResult(), benchResult()
+	cur.RequestDigest = "zzz999"
+	if _, err := Compare(base, cur, Tolerance{}); err == nil {
+		t.Fatal("Compare accepted results with different request digests")
+	} else if !strings.Contains(err.Error(), "refusing to compare") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Negative perf tolerances disable those legs; the error leg floors at 0.
+func TestGateToleranceKnobs(t *testing.T) {
+	base, cur := benchResult(), benchResult()
+	cur.ThroughputRPS = 1     // catastrophic drop
+	cur.Latency.P99MS = 10000 // catastrophic rise
+	regs, err := Compare(base, cur, Tolerance{ThroughputDrop: -1, LatencyRise: -1})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("disabled perf legs still flagged: %v", regs)
+	}
+
+	cur = benchResult()
+	cur.ErrorRate = 0.01
+	cur.Errors, cur.OK = 2, 198
+	regs, err = Compare(base, cur, Tolerance{ErrorRate: -1})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "error_rate" {
+		t.Fatalf("error leg should floor at 0, got %v", regs)
+	}
+}
+
+// Round-trip a Result through the file layer the gate uses.
+func TestResultRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	res := benchResult()
+	res.Outcomes = map[string]int{"ok": 200}
+	res.PerOp = map[Op]OpSummary{OpMatMul: {Requests: 120, OK: 120, P50MS: 2, P99MS: 7}}
+	if err := WriteResult(path, res); err != nil {
+		t.Fatalf("WriteResult: %v", err)
+	}
+	back, err := ReadResult(path)
+	if err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	if back.RequestDigest != res.RequestDigest || back.ThroughputRPS != res.ThroughputRPS ||
+		back.Latency.P99MS != res.Latency.P99MS || back.PerOp[OpMatMul].OK != 120 {
+		t.Fatalf("round-trip mangled the result: %+v", back)
+	}
+	regs, err := Compare(res, back, Tolerance{})
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("result does not gate-pass against itself: regs=%v err=%v", regs, err)
+	}
+}

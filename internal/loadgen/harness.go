@@ -1,0 +1,269 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"flumen"
+	"flumen/internal/cluster"
+	"flumen/internal/photonic"
+	"flumen/internal/registry"
+	"flumen/internal/serve"
+)
+
+// Harness self-hosts the target fleet in-process: N real flumend instances
+// (the internal/cluster harness — real listeners, real JSON, real
+// schedulers) and, for N > 1, a flumen-router in front. It adds the load
+// generator's failure-injection knobs on top: per-backend photonic fault
+// drift (with the device-health monitor armed) and mid-run hard kills, the
+// two ingredients of the nightly soak.
+type Harness struct {
+	cluster *cluster.Harness
+	router  *cluster.Router
+
+	routerCancel context.CancelFunc
+	routerDone   chan error
+	url          string
+}
+
+// HarnessConfig shapes the self-hosted fleet.
+type HarnessConfig struct {
+	// Backends is the flumend count (≥1). With one backend and ForceRouter
+	// false, traffic goes to it directly; otherwise a router fronts the
+	// fleet.
+	Backends    int
+	ForceRouter bool
+
+	// Serve is the per-backend config (Addr/NodeID are overridden).
+	Serve serve.Config
+	// Router overrides router defaults (Addr/Backends are overridden).
+	Router cluster.Config
+
+	// FaultDrift > 0 injects random-walk phase drift of this sigma into
+	// FaultParts partitions of every backend and arms the device-health
+	// monitor, mirroring flumend -fault-drift/-fault-parts.
+	FaultDrift float64
+	FaultParts int
+}
+
+// StartHarness boots the fleet and blocks until every entry point answers
+// /healthz.
+func StartHarness(hc HarnessConfig) (*Harness, error) {
+	if hc.Backends <= 0 {
+		hc.Backends = 1
+	}
+	scfg := hc.Serve
+	if hc.FaultDrift > 0 && scfg.Health == nil {
+		scfg.Health = &flumen.HealthConfig{}
+	}
+	ch, err := cluster.StartBackends(hc.Backends, scfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{cluster: ch}
+
+	if hc.FaultDrift > 0 {
+		parts := hc.FaultParts
+		if parts <= 0 {
+			parts = 1
+		}
+		for i := 0; i < ch.N(); i++ {
+			acc := ch.Backend(i).Accelerator()
+			n := parts
+			if np := acc.NumPartitions(); n > np {
+				n = np
+			}
+			for p := 0; p < n; p++ {
+				if err := acc.InjectFaults(p, photonic.FaultConfig{DriftSigma: hc.FaultDrift, Seed: int64(1 + i*parts + p)}); err != nil {
+					h.Stop()
+					return nil, fmt.Errorf("loadgen: injecting faults into backend %d partition %d: %w", i, p, err)
+				}
+			}
+		}
+	}
+
+	if hc.Backends > 1 || hc.ForceRouter {
+		rcfg := hc.Router
+		if rcfg.Addr == "" {
+			rcfg.Addr = "127.0.0.1:0"
+		}
+		rcfg.Backends = ch.URLs()
+		if rcfg.ProbeInterval == 0 {
+			rcfg.ProbeInterval = 100 * time.Millisecond
+		}
+		rt, err := cluster.New(rcfg)
+		if err != nil {
+			h.Stop()
+			return nil, err
+		}
+		if err := rt.Listen(); err != nil {
+			h.Stop()
+			return nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		h.router = rt
+		h.routerCancel = cancel
+		h.routerDone = make(chan error, 1)
+		go func() { h.routerDone <- rt.Run(ctx) }()
+		h.url = "http://" + rt.Addr()
+	} else {
+		h.url = ch.URLs()[0]
+	}
+
+	if err := waitHealthy(h.url, 15*time.Second); err != nil {
+		h.Stop()
+		return nil, err
+	}
+	return h, nil
+}
+
+// URL is the entry point traffic should target (the router when present).
+func (h *Harness) URL() string { return h.url }
+
+// Routed reports whether a router fronts the fleet.
+func (h *Harness) Routed() bool { return h.router != nil }
+
+// Backends returns the flumend count.
+func (h *Harness) Backends() int { return h.cluster.N() }
+
+// Backend exposes backend i's server for stats inspection.
+func (h *Harness) Backend(i int) *serve.Server { return h.cluster.Backend(i) }
+
+// Kill hard-stops backend i (the in-process SIGKILL: connections reset, no
+// drain). Only meaningful behind a router, which must eject the corpse and
+// keep serving.
+func (h *Harness) Kill(i int) error { return h.cluster.Kill(i) }
+
+// Restart brings a killed backend up on its original address and identity.
+func (h *Harness) Restart(i int) error { return h.cluster.Restart(i) }
+
+// RegisterModels pushes the stream's model specs through the entry point
+// (the router fans registrations to every backend) and waits until prewarm
+// completes so by-name traffic starts against pinned programs.
+func (h *Harness) RegisterModels(specs []*registry.Spec) error {
+	return RegisterModels(h.url, specs, 30*time.Second)
+}
+
+// Stop drains the router (when present) and every backend. It returns the
+// router's drain error, if any — backends killed mid-run are skipped by the
+// cluster harness's Stop.
+func (h *Harness) Stop() error {
+	var err error
+	if h.router != nil {
+		h.routerCancel()
+		select {
+		case err = <-h.routerDone:
+		case <-time.After(15 * time.Second):
+			err = fmt.Errorf("loadgen: router did not drain within 15s")
+		}
+		h.router = nil
+	}
+	h.cluster.Stop()
+	return err
+}
+
+// RegisterModels registers specs with any flumend or flumen-router base URL
+// and polls /healthz until prewarm_pending reaches zero (bounded by
+// timeout). Registration is idempotent, so re-running against a warm fleet
+// is safe.
+func RegisterModels(base string, specs []*registry.Spec, timeout time.Duration) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, spec := range specs {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/v1/models", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("loadgen: registering %s: %w", spec.Ref(), err)
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("loadgen: registering %s: status %d: %s", spec.Ref(), resp.StatusCode, rb)
+		}
+	}
+	// Wait for prewarm so the first by-name request doesn't race the
+	// background compiler (it would still be answered correctly, just cold).
+	deadline := time.Now().Add(timeout)
+	for {
+		pending, err := prewarmPending(client, base)
+		if err == nil && pending == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("loadgen: waiting for prewarm: %w", err)
+			}
+			return fmt.Errorf("loadgen: %d models still awaiting prewarm after %s", pending, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func prewarmPending(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var hr struct {
+		PrewarmPending int `json:"prewarm_pending"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return 0, err
+	}
+	return hr.PrewarmPending, nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s never became healthy within %s", base, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// FetchTrace pulls the target's /debug/requests ring and returns the raw
+// record whose request ID matches, for offender dumps. Returns nil when the
+// ring has no matching record (tracing off, ring overflowed, or the request
+// never reached a traced stage).
+func FetchTrace(base, requestID string) json.RawMessage {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/debug/requests")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var recs []map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return nil
+	}
+	for _, rec := range recs {
+		var id string
+		if raw, ok := rec["id"]; ok && json.Unmarshal(raw, &id) == nil && id == requestID {
+			full, err := json.Marshal(rec)
+			if err != nil {
+				return nil
+			}
+			return full
+		}
+	}
+	return nil
+}

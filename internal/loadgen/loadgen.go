@@ -1,0 +1,163 @@
+// Package loadgen is Flumen's deterministic load-generation and conformance
+// harness: a seeded workload generator that drives flumend directly or
+// through flumen-router with a configurable mix of matmul / conv2d / infer
+// requests, Zipf-distributed weight reuse (exercising the program cache and
+// the router's weight-affinity hashing), inline and by-name model
+// references, open- or closed-loop arrivals, and bounded concurrency.
+//
+// Everything is a pure function of (seed, config): the request stream is
+// byte-identical across runs and machines, and the expected responses —
+// computed on a local serve.Reference with the target's geometry — reduce
+// to a conformance digest that is likewise reproducible. That gives CI two
+// machine-independent correctness gates (every response bitwise-equal to
+// the reference; the digest equal to the committed baseline's) on top of
+// the machine-dependent perf metrics, which are compared against a baseline
+// with tolerance bands instead.
+package loadgen
+
+import (
+	"fmt"
+)
+
+// Op is a request kind in the generated mix.
+type Op string
+
+const (
+	OpMatMul Op = "matmul"
+	OpConv2D Op = "conv2d"
+	OpInfer  Op = "infer"
+)
+
+// Mix weights the request kinds. Weights are relative, not normalized; a
+// zero weight removes the kind from the stream.
+type Mix struct {
+	MatMul float64 `json:"matmul"`
+	Conv2D float64 `json:"conv2d"`
+	Infer  float64 `json:"infer"`
+}
+
+func (m Mix) total() float64 { return m.MatMul + m.Conv2D + m.Infer }
+
+// Config parameterizes one generated workload. The zero value is not
+// usable; call Validate (or start from DefaultConfig) first.
+type Config struct {
+	// Seed drives every random choice: catalog weights, per-request
+	// payloads, op selection, Zipf draws, arrival jitter. Same seed + same
+	// config = byte-identical stream.
+	Seed int64 `json:"seed"`
+
+	// Requests is the stream length.
+	Requests int `json:"requests"`
+
+	// Concurrency bounds in-flight requests. In closed-loop mode it is the
+	// worker count; in open-loop mode it caps concurrent dispatches (the
+	// generator degrades to closed-loop at the cap instead of piling up
+	// unbounded goroutines).
+	Concurrency int `json:"concurrency"`
+
+	// RatePerSec > 0 selects open-loop arrivals: requests are dispatched on
+	// a precomputed schedule with exponential inter-arrival times at this
+	// mean rate, independent of response latency. 0 selects closed-loop:
+	// Concurrency workers each issue their next request as soon as the
+	// previous one answers.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+
+	// Mix weights the op kinds.
+	Mix Mix `json:"mix"`
+
+	// Matrices is the matmul weight-catalog size; Dim and NRHS shape each
+	// matmul (Dim×Dim weights, Dim×NRHS right-hand side). Requests draw
+	// catalog indices from a Zipf distribution, so a few hot matrices
+	// dominate — the regime where the program cache and the router's
+	// weight-affinity hashing earn their keep.
+	Matrices int `json:"matrices"`
+	Dim      int `json:"dim"`
+	NRHS     int `json:"nrhs"`
+
+	// ZipfS (>1) and ZipfV (>=1) shape the catalog popularity skew.
+	ZipfS float64 `json:"zipf_s"`
+	ZipfV float64 `json:"zipf_v"`
+
+	// ByNameFraction is the probability a matmul request references its
+	// weights as a registered model ("lg-wNNN@v1") instead of carrying them
+	// inline. Non-zero streams require registering ModelSpecs() with the
+	// target first.
+	ByNameFraction float64 `json:"by_name_fraction"`
+
+	// TimeoutMS, when positive, is attached to every request body.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DefaultConfig returns a CI-sized mixed workload: hot-cache matmuls with a
+// long Zipf tail, a side of convolutions and inferences, a quarter of the
+// matmul traffic by model reference.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Requests:       200,
+		Concurrency:    4,
+		Mix:            Mix{MatMul: 0.6, Conv2D: 0.2, Infer: 0.2},
+		Matrices:       12,
+		Dim:            32,
+		NRHS:           4,
+		ZipfS:          1.3,
+		ZipfV:          1,
+		ByNameFraction: 0.25,
+	}
+}
+
+// Validate normalizes zero values to defaults and rejects configurations
+// the generator cannot honor deterministically.
+func (c *Config) Validate() error {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Requests <= 0 {
+		c.Requests = d.Requests
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = d.Concurrency
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = d.Mix
+	}
+	if c.Mix.MatMul < 0 || c.Mix.Conv2D < 0 || c.Mix.Infer < 0 {
+		return fmt.Errorf("loadgen: mix weights must be non-negative, got %+v", c.Mix)
+	}
+	if c.Matrices <= 0 {
+		c.Matrices = d.Matrices
+	}
+	if c.Dim <= 0 {
+		c.Dim = d.Dim
+	}
+	if c.NRHS <= 0 {
+		c.NRHS = d.NRHS
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = d.ZipfS
+	}
+	if c.ZipfV == 0 {
+		c.ZipfV = d.ZipfV
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: zipf s must be > 1, got %g", c.ZipfS)
+	}
+	if c.ZipfV < 1 {
+		return fmt.Errorf("loadgen: zipf v must be >= 1, got %g", c.ZipfV)
+	}
+	if c.ByNameFraction < 0 || c.ByNameFraction > 1 {
+		return fmt.Errorf("loadgen: by-name fraction must be in [0,1], got %g", c.ByNameFraction)
+	}
+	if c.RatePerSec < 0 {
+		return fmt.Errorf("loadgen: rate must be non-negative, got %g", c.RatePerSec)
+	}
+	if c.TimeoutMS < 0 {
+		return fmt.Errorf("loadgen: timeout_ms must be non-negative, got %d", c.TimeoutMS)
+	}
+	return nil
+}
+
+// openLoop reports whether requests follow a precomputed arrival schedule
+// (true) or are issued by a closed worker loop (false).
+func (c *Config) openLoop() bool { return c.RatePerSec > 0 }

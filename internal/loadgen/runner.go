@@ -1,0 +1,419 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flumen/internal/serve"
+)
+
+// LatencySummary summarizes successful-request latency in milliseconds.
+// Percentiles are nearest-rank over the completed 200s; failed and shed
+// requests are booked in Outcomes, never here (the PR-8 convention: error
+// latencies would poison the histograms alerts read).
+type LatencySummary struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// OpSummary breaks the run down per endpoint.
+type OpSummary struct {
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// Offender captures a conformance divergence or hard failure with enough
+// context to reproduce it: the exact request bytes, the correlation ID to
+// chase through /debug/requests and backend logs, and what differed.
+type Offender struct {
+	Index     int             `json:"index"`
+	Op        Op              `json:"op"`
+	RequestID string          `json:"request_id"`
+	Status    int             `json:"status"`
+	Reason    string          `json:"reason"`
+	Node      string          `json:"node,omitempty"` // X-Flumen-Node of the answering backend
+	Body      json.RawMessage `json:"request_body"`
+	Trace     json.RawMessage `json:"trace,omitempty"` // /debug/requests record, filled by the caller
+}
+
+// Result is one run's report — the BENCH_loadgen.json schema. Workload
+// identity (seed, config, digests) travels with the numbers so the gate can
+// refuse to compare apples to oranges.
+type Result struct {
+	Mode        string  `json:"mode"`
+	Target      string  `json:"target"`
+	GeneratedAt string  `json:"generated_at,omitempty"`
+	Workload    Config  `json:"workload"`
+	ServeGeo    GeoInfo `json:"serve_geometry"`
+
+	RequestDigest     string `json:"request_digest"`
+	Checked           bool   `json:"checked"`
+	ConformanceDigest string `json:"conformance_digest,omitempty"`
+
+	Requests            int              `json:"requests"`
+	OK                  int              `json:"ok"`
+	Errors              int              `json:"errors"`
+	ConformanceFailures int              `json:"conformance_failures"`
+	ErrorRate           float64          `json:"error_rate"`
+	Seconds             float64          `json:"seconds"`
+	ThroughputRPS       float64          `json:"throughput_rps"`
+	Latency             LatencySummary   `json:"latency"`
+	Outcomes            map[string]int   `json:"outcomes"`
+	PerOp               map[Op]OpSummary `json:"per_op"`
+
+	Offenders []Offender `json:"offenders,omitempty"`
+}
+
+// GeoInfo pins the serving geometry a conformance digest depends on.
+type GeoInfo struct {
+	Ports     int   `json:"ports"`
+	BlockSize int   `json:"block_size"`
+	Precision int   `json:"precision,omitempty"`
+	InferSeed int64 `json:"infer_seed"`
+}
+
+// Runner drives a generated stream against a live target.
+type Runner struct {
+	// Target is the base URL (flumend or flumen-router).
+	Target string
+	// Client overrides the HTTP client (nil = pooled default).
+	Client *http.Client
+	// Expected enables conformance checking: every 200 response is compared
+	// bitwise against Expected[i]. nil disables checking (bench-only runs,
+	// fault-injection soaks where drift makes divergence expected).
+	Expected []Expected
+	// TraceHeader sends X-Flumen-Trace: 1 so divergent requests leave a
+	// stage breakdown in the target's /debug/requests ring.
+	TraceHeader bool
+	// MaxOffenders caps recorded offender detail (0 = default 5).
+	MaxOffenders int
+}
+
+const defaultMaxOffenders = 5
+
+// Run executes the stream and aggregates the report. Transport errors and
+// non-200s are outcomes, not run errors; Run itself fails only on setup
+// problems (unreachable target on request zero is still just an outcome).
+func (rn *Runner) Run(ctx context.Context, st *Stream) (*Result, error) {
+	client := rn.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: st.Cfg.Concurrency + 2}}
+	}
+	maxOff := rn.MaxOffenders
+	if maxOff <= 0 {
+		maxOff = defaultMaxOffenders
+	}
+
+	res := &Result{
+		Target:        rn.Target,
+		Workload:      st.Cfg,
+		RequestDigest: st.RequestDigest(),
+		Checked:       rn.Expected != nil,
+		Requests:      len(st.Requests),
+		Outcomes:      make(map[string]int),
+		PerOp:         make(map[Op]OpSummary),
+	}
+
+	type sample struct {
+		op Op
+		ms float64
+	}
+	var (
+		mu        sync.Mutex
+		samples   []sample
+		offenders []Offender
+		okCount   atomic.Int64
+		confFails atomic.Int64
+	)
+	record := func(outcome string) {
+		mu.Lock()
+		res.Outcomes[outcome]++
+		mu.Unlock()
+	}
+	addOffender := func(o Offender) {
+		mu.Lock()
+		if len(offenders) < maxOff {
+			offenders = append(offenders, o)
+		}
+		mu.Unlock()
+	}
+	opSeen := func(op Op, ok bool) {
+		mu.Lock()
+		s := res.PerOp[op]
+		s.Requests++
+		if ok {
+			s.OK++
+		}
+		res.PerOp[op] = s
+		mu.Unlock()
+	}
+
+	doOne := func(i int) {
+		r := &st.Requests[i]
+		start := time.Now()
+		status, node, outcome, reason, okResp := rn.issue(ctx, client, r)
+		elapsed := time.Since(start)
+		if outcome == "ok" {
+			okCount.Add(1)
+			mu.Lock()
+			samples = append(samples, sample{r.Op, float64(elapsed.Microseconds()) / 1000})
+			mu.Unlock()
+			if rn.Expected != nil {
+				if mismatch := checkResponse(r, okResp, &rn.Expected[i]); mismatch != "" {
+					confFails.Add(1)
+					addOffender(Offender{
+						Index: i, Op: r.Op, RequestID: r.RequestID,
+						Status: status, Node: node,
+						Reason: mismatch, Body: json.RawMessage(r.Body),
+					})
+				}
+			}
+			opSeen(r.Op, true)
+		} else {
+			addOffender(Offender{
+				Index: i, Op: r.Op, RequestID: r.RequestID,
+				Status: status, Node: node,
+				Reason: reason, Body: json.RawMessage(r.Body),
+			})
+			opSeen(r.Op, false)
+		}
+		record(outcome)
+	}
+
+	start := time.Now()
+	if st.Cfg.openLoop() {
+		// Open loop: dispatch on the precomputed schedule; the semaphore
+		// bounds in-flight work, degrading to closed-loop at the cap rather
+		// than queueing unbounded goroutines.
+		sem := make(chan struct{}, st.Cfg.Concurrency)
+		var wg sync.WaitGroup
+		for i := range st.Requests {
+			if sleepUntil(ctx, start.Add(st.Requests[i].Arrival)) != nil {
+				break
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				doOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < st.Cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(st.Requests) {
+						return
+					}
+					doOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	res.Seconds = time.Since(start).Seconds()
+
+	res.OK = int(okCount.Load())
+	res.ConformanceFailures = int(confFails.Load())
+	res.Errors = res.Requests - res.OK
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
+	}
+	if res.Seconds > 0 {
+		res.ThroughputRPS = float64(res.OK) / res.Seconds
+	}
+	res.Offenders = offenders
+
+	all := make([]float64, 0, len(samples))
+	perOp := make(map[Op][]float64)
+	for _, s := range samples {
+		all = append(all, s.ms)
+		perOp[s.op] = append(perOp[s.op], s.ms)
+	}
+	res.Latency = summarize(all)
+	for op, xs := range perOp {
+		s := res.PerOp[op]
+		sort.Float64s(xs)
+		s.P50MS = percentile(xs, 50)
+		s.P99MS = percentile(xs, 99)
+		res.PerOp[op] = s
+	}
+	return res, nil
+}
+
+// issue sends one request and classifies the outcome. okResp is the raw
+// body for 200s (conformance checking decodes it), nil otherwise.
+func (rn *Runner) issue(ctx context.Context, client *http.Client, r *Request) (status int, node, outcome, reason string, okResp []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rn.Target+r.Path, bytes.NewReader(r.Body))
+	if err != nil {
+		return 0, "", "transport", err.Error(), nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.HeaderRequestID, r.RequestID)
+	if rn.TraceHeader {
+		req.Header.Set("X-Flumen-Trace", "1")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", "transport", err.Error(), nil
+	}
+	defer resp.Body.Close()
+	node = resp.Header.Get(serve.HeaderNode)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, node, "transport", err.Error(), nil
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, node, "ok", "", body
+	}
+	var er struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	outcome = fmt.Sprintf("http_%d", resp.StatusCode)
+	reason = string(body)
+	if json.Unmarshal(body, &er) == nil && er.Code != "" {
+		outcome = er.Code
+		reason = er.Error
+	}
+	return resp.StatusCode, node, outcome, reason, nil
+}
+
+// checkResponse compares a 200 body bitwise against the reference answer,
+// returning "" on match or a description of the first divergence.
+func checkResponse(r *Request, body []byte, want *Expected) string {
+	switch r.Op {
+	case OpMatMul:
+		var mr serve.MatMulResponse
+		if err := json.Unmarshal(body, &mr); err != nil {
+			return "undecodable matmul response: " + err.Error()
+		}
+		return diff2D("c", mr.C, want.C)
+	case OpConv2D:
+		var cr serve.Conv2DResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			return "undecodable conv2d response: " + err.Error()
+		}
+		if len(cr.Output) != len(want.Output) {
+			return fmt.Sprintf("output has %d planes, reference %d", len(cr.Output), len(want.Output))
+		}
+		for k := range cr.Output {
+			if d := diff2D(fmt.Sprintf("output[%d]", k), cr.Output[k], want.Output[k]); d != "" {
+				return d
+			}
+		}
+		return ""
+	case OpInfer:
+		var ir serve.InferResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			return "undecodable infer response: " + err.Error()
+		}
+		if len(ir.Logits) != len(want.Logits) {
+			return fmt.Sprintf("logits length %d, reference %d", len(ir.Logits), len(want.Logits))
+		}
+		for i := range ir.Logits {
+			if math.Float64bits(ir.Logits[i]) != math.Float64bits(want.Logits[i]) {
+				return fmt.Sprintf("logits[%d] = %v (%#x), reference %v (%#x)",
+					i, ir.Logits[i], math.Float64bits(ir.Logits[i]), want.Logits[i], math.Float64bits(want.Logits[i]))
+			}
+		}
+		if ir.Class != want.Class {
+			return fmt.Sprintf("class %d, reference %d", ir.Class, want.Class)
+		}
+		return ""
+	}
+	return "unknown op"
+}
+
+func diff2D(name string, got, want [][]float64) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%s has %d rows, reference %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Sprintf("%s row %d has %d cols, reference %d", name, i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				return fmt.Sprintf("%s[%d][%d] = %v (%#x), reference %v (%#x)",
+					name, i, j, got[i][j], math.Float64bits(got[i][j]), want[i][j], math.Float64bits(want[i][j]))
+			}
+		}
+	}
+	return ""
+}
+
+func sleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func summarize(xs []float64) LatencySummary {
+	if len(xs) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return LatencySummary{
+		MeanMS: sum / float64(len(xs)),
+		P50MS:  percentile(xs, 50),
+		P90MS:  percentile(xs, 90),
+		P99MS:  percentile(xs, 99),
+		MaxMS:  xs[len(xs)-1],
+	}
+}
+
+// percentile is nearest-rank over an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,317 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"flumen/internal/registry"
+	"flumen/internal/serve"
+)
+
+// Request is one generated request: the exact bytes to send plus the parsed
+// payload the reference evaluator recomputes the answer from.
+type Request struct {
+	Index     int
+	Op        Op
+	Path      string
+	Body      []byte
+	RequestID string
+	// ByName marks a matmul that references its catalog matrix as a
+	// registered model instead of carrying it inline; WeightIdx is the
+	// catalog index it drew (matmul only, -1 otherwise).
+	ByName    bool
+	WeightIdx int
+	// Arrival is the open-loop dispatch offset from stream start (0 in
+	// closed-loop mode).
+	Arrival time.Duration
+
+	matmul *serve.MatMulRequest
+	conv   *serve.Conv2DRequest
+	infer  *serve.InferRequest
+}
+
+// Stream is a fully materialized deterministic workload: the weight
+// catalog, the request sequence, and (optionally, via Expect) the
+// bitwise-expected responses.
+type Stream struct {
+	Cfg      Config
+	Matrices [][][]float64 // matmul weight catalog, indexed by WeightIdx
+	Requests []Request
+
+	convKernels [][][][][]float64 // conv2d kernel catalog
+	inferShapes []serve.InferShape
+}
+
+// conv2d catalog size: small enough that kernels repeat (cache hits),
+// derived from the matmul catalog so one knob scales both.
+func convCatalogSize(matrices int) int {
+	if matrices < 4 {
+		return matrices
+	}
+	return 4
+}
+
+// ModelName returns the registered-model name for catalog index k.
+func ModelName(k int) string { return fmt.Sprintf("lg-w%03d", k) }
+
+// ModelRef returns the full "name@version" reference for catalog index k.
+func ModelRef(k int) string { return ModelName(k) + "@v1" }
+
+// NewStream generates the workload for cfg. Same cfg (after Validate) =
+// byte-identical stream: one seeded rng drives every draw in a fixed order,
+// and request bodies are marshaled from fixed-field structs so the JSON
+// encoding is stable.
+func NewStream(cfg Config, shapes []serve.InferShape) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mix.Infer > 0 && len(shapes) == 0 {
+		return nil, fmt.Errorf("loadgen: infer requests in the mix but no model shapes provided")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := &Stream{Cfg: cfg, inferShapes: shapes}
+
+	// Catalogs first, in fixed order, so per-request draws start from the
+	// same rng offset regardless of the mix.
+	st.Matrices = make([][][]float64, cfg.Matrices)
+	for k := range st.Matrices {
+		st.Matrices[k] = randMat(rng, cfg.Dim, cfg.Dim)
+	}
+	nconv := convCatalogSize(cfg.Matrices)
+	st.convKernels = make([][][][][]float64, nconv)
+	for k := range st.convKernels {
+		st.convKernels[k] = randKernels(rng, 2, 2, 3, 3)
+	}
+
+	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Matrices-1))
+	total := cfg.Mix.total()
+	st.Requests = make([]Request, cfg.Requests)
+	var clock time.Duration
+	for i := range st.Requests {
+		req := Request{
+			Index:     i,
+			RequestID: fmt.Sprintf("lg-%d-%06d", cfg.Seed, i),
+			WeightIdx: -1,
+		}
+		if cfg.openLoop() {
+			// Exponential inter-arrivals at the mean rate; the schedule is
+			// part of the stream, so an open-loop run replays identical
+			// offered load every time.
+			clock += time.Duration(rng.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+			req.Arrival = clock
+		}
+		pick := rng.Float64() * total
+		switch {
+		case pick < cfg.Mix.MatMul:
+			req.Op = OpMatMul
+			req.Path = "/v1/matmul"
+			k := int(zipf.Uint64())
+			req.WeightIdx = k
+			body := &serve.MatMulRequest{X: randMat(rng, cfg.Dim, cfg.NRHS), TimeoutMS: cfg.TimeoutMS}
+			if rng.Float64() < cfg.ByNameFraction {
+				req.ByName = true
+				body.Model = ModelRef(k)
+			} else {
+				body.M = st.Matrices[k]
+			}
+			req.matmul = body
+		case pick < cfg.Mix.MatMul+cfg.Mix.Conv2D:
+			req.Op = OpConv2D
+			req.Path = "/v1/conv2d"
+			k := rng.Intn(nconv)
+			req.conv = &serve.Conv2DRequest{
+				Input:     randVolume(rng, 2, 6, 6),
+				Kernels:   st.convKernels[k],
+				Stride:    1,
+				Pad:       1,
+				TimeoutMS: cfg.TimeoutMS,
+			}
+		default:
+			req.Op = OpInfer
+			req.Path = "/v1/infer"
+			sh := shapes[rng.Intn(len(shapes))]
+			body := &serve.InferRequest{Model: sh.Name, TimeoutMS: cfg.TimeoutMS}
+			if sh.Conv {
+				body.Volume = randVolume(rng, sh.InC, sh.InH, sh.InW)
+			} else {
+				body.Vector = randVec(rng, sh.Features)
+			}
+			req.infer = body
+		}
+		var err error
+		if req.Body, err = marshalBody(&req); err != nil {
+			return nil, err
+		}
+		st.Requests[i] = req
+	}
+	return st, nil
+}
+
+func marshalBody(req *Request) ([]byte, error) {
+	switch req.Op {
+	case OpMatMul:
+		return json.Marshal(req.matmul)
+	case OpConv2D:
+		return json.Marshal(req.conv)
+	case OpInfer:
+		return json.Marshal(req.infer)
+	}
+	return nil, fmt.Errorf("loadgen: unknown op %q", req.Op)
+}
+
+// ModelSpecs returns the registry specs a by-name stream needs registered
+// with the target before traffic starts (the full catalog: which indices a
+// run actually references depends on the Zipf draws, and registering all of
+// them keeps registration out of the deterministic request sequence).
+func (st *Stream) ModelSpecs() []*registry.Spec {
+	if st.Cfg.ByNameFraction == 0 {
+		return nil
+	}
+	specs := make([]*registry.Spec, len(st.Matrices))
+	for k, m := range st.Matrices {
+		specs[k] = &registry.Spec{
+			Name:    ModelName(k),
+			Version: "v1",
+			Kind:    registry.KindMatMul,
+			M:       m,
+		}
+	}
+	return specs
+}
+
+// RequestDigest hashes the request stream — paths, request IDs, exact body
+// bytes, arrival offsets — into a hex digest. Two runs with the same seed
+// and config produce the same digest on any machine; the gate uses it to
+// refuse comparing benches of different workloads.
+func (st *Stream) RequestDigest() string {
+	h := sha256.New()
+	var scratch [8]byte
+	for i := range st.Requests {
+		r := &st.Requests[i]
+		h.Write([]byte(r.Path))
+		h.Write([]byte{0})
+		h.Write([]byte(r.RequestID))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(scratch[:], uint64(r.Arrival))
+		h.Write(scratch[:])
+		h.Write(r.Body)
+		h.Write([]byte{0xff})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Expected is the reference answer for one request.
+type Expected struct {
+	C      [][]float64   // matmul
+	Output [][][]float64 // conv2d
+	Logits []float64     // infer
+	Class  int
+}
+
+// Expect computes every request's reference answer on a local
+// serve.Reference with the given serving config (geometry + infer seed must
+// match the target fleet), plus the conformance digest over the expected
+// bits. The digest is a pure function of (workload config, serve geometry):
+// commit it once and any future run that diverges — a changed kernel, a
+// broken coalescer, a drifted mesh — fails the comparison without needing
+// the original machine.
+func (st *Stream) Expect(scfg serve.Config) ([]Expected, string, error) {
+	ref, err := serve.NewReference(scfg)
+	if err != nil {
+		return nil, "", err
+	}
+	exp := make([]Expected, len(st.Requests))
+	h := sha256.New()
+	var scratch [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		h.Write(scratch[:])
+	}
+	for i := range st.Requests {
+		r := &st.Requests[i]
+		switch r.Op {
+		case OpMatMul:
+			m := r.matmul.M
+			if r.ByName {
+				m = st.Matrices[r.WeightIdx]
+			}
+			c, err := ref.MatMul(m, r.matmul.X)
+			if err != nil {
+				return nil, "", fmt.Errorf("loadgen: reference matmul #%d: %w", i, err)
+			}
+			exp[i].C = c
+			for _, row := range c {
+				for _, v := range row {
+					writeF(v)
+				}
+			}
+		case OpConv2D:
+			out, err := ref.Conv2D(r.conv.Input, r.conv.Kernels, r.conv.Stride, r.conv.Pad)
+			if err != nil {
+				return nil, "", fmt.Errorf("loadgen: reference conv2d #%d: %w", i, err)
+			}
+			exp[i].Output = out
+			for _, plane := range out {
+				for _, row := range plane {
+					for _, v := range row {
+						writeF(v)
+					}
+				}
+			}
+		case OpInfer:
+			logits, class, err := ref.Infer(r.infer.Model, r.infer.Volume, r.infer.Vector)
+			if err != nil {
+				return nil, "", fmt.Errorf("loadgen: reference infer #%d (%s): %w", i, r.infer.Model, err)
+			}
+			exp[i].Logits, exp[i].Class = logits, class
+			for _, v := range logits {
+				writeF(v)
+			}
+			binary.LittleEndian.PutUint64(scratch[:], uint64(class))
+			h.Write(scratch[:])
+		}
+		h.Write([]byte{0xff})
+	}
+	return exp, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func randMat(rng *rand.Rand, rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randVolume(rng *rand.Rand, c, h, w int) [][][]float64 {
+	vol := make([][][]float64, c)
+	for i := range vol {
+		vol[i] = randMat(rng, h, w)
+	}
+	return vol
+}
+
+func randKernels(rng *rand.Rand, nk, c, kh, kw int) [][][][]float64 {
+	ks := make([][][][]float64, nk)
+	for k := range ks {
+		ks[k] = randVolume(rng, c, kh, kw)
+	}
+	return ks
+}

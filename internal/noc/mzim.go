@@ -25,9 +25,9 @@ type MZIMNet struct {
 	lookahead int
 
 	// Scratch buffers reused across cycles.
-	req     [][]bool
-	busyRow []bool
-	busyCol []bool
+	req         [][]bool
+	busyRow     []bool
+	busyCol     []bool
 	queued      int // total queued packets (skip arbitration when zero)
 	active      int // active connections
 	injectedNow int // packets injected since the last CycleTelemetry read

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"flumen"
+)
+
+// Reference evaluates compute requests on a local Accelerator exactly as a
+// flumend configured identically would answer them: the same geometry, the
+// same precision, the same built-in infer models derived from the same seed,
+// and the same code paths (inferModel.infer is literally the handler's
+// execution function). A load generator holding a Reference can therefore
+// demand bitwise equality from a live server — any divergence is a real
+// correctness regression somewhere between the HTTP front door and the
+// photonic fabric, never reference skew.
+//
+// The Reference is deliberately single-tenant and unsynchronized: the
+// conformance property being checked is that batching, coalescing, routing
+// and cache state never change a single output bit, so the reference
+// computes each answer alone, serially, with nothing to coalesce against.
+type Reference struct {
+	acc    *flumen.Accelerator
+	models map[string]*inferModel
+}
+
+// NewReference builds a reference evaluator from a serve config. Only the
+// fields that influence response bits matter: Ports, BlockSize, Precision,
+// and InferSeed. Everything else (queue depths, timeouts, cache sizes) is
+// serving policy and must not affect results — that invariance is exactly
+// what conformance runs exist to enforce.
+func NewReference(cfg Config) (*Reference, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	acc, err := flumen.NewAccelerator(cfg.Ports, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Precision > 0 {
+		acc.SetPrecision(cfg.Precision)
+	}
+	return &Reference{acc: acc, models: buildModels(cfg.InferSeed)}, nil
+}
+
+// MatMul returns what /v1/matmul would answer for C = M·X.
+func (rf *Reference) MatMul(m, x [][]float64) ([][]float64, error) {
+	return rf.acc.MatMul(m, x)
+}
+
+// Conv2D returns what /v1/conv2d would answer.
+func (rf *Reference) Conv2D(input [][][]float64, kernels [][][][]float64, stride, pad int) ([][][]float64, error) {
+	return rf.acc.Conv2D(input, kernels, stride, pad)
+}
+
+// Infer returns the logits and argmax class /v1/infer would answer for a
+// built-in model.
+func (rf *Reference) Infer(model string, volume [][][]float64, vector []float64) ([]float64, int, error) {
+	mo, ok := rf.models[model]
+	if !ok {
+		return nil, 0, fmt.Errorf("serve: reference has no built-in model %q (have %v)", model, modelNames(rf.models))
+	}
+	req := &InferRequest{Model: model, Volume: volume, Vector: vector}
+	if err := mo.checkInput(req); err != nil {
+		return nil, 0, err
+	}
+	logits, err := mo.infer(context.Background(), rf.acc, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	return logits, argmax(logits), nil
+}
+
+// InferShape describes a built-in model's input contract, so workload
+// generators can synthesize valid requests without hard-coding the models.
+type InferShape struct {
+	Name string
+	// Conv models take a [InC][InH][InW] volume; FC models take a flat
+	// Features-element vector.
+	Conv          bool
+	InW, InH, InC int
+	Features      int
+}
+
+// InferShapes lists the built-in models' input shapes, sorted by name for
+// deterministic iteration.
+func (rf *Reference) InferShapes() []InferShape {
+	shapes := make([]InferShape, 0, len(rf.models))
+	for _, mo := range rf.models {
+		s := InferShape{Name: mo.name, Conv: mo.conv, Features: mo.features()}
+		if mo.conv {
+			s.InW, s.InH, s.InC = mo.shape.InW, mo.shape.InH, mo.shape.InC
+		}
+		shapes = append(shapes, s)
+	}
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].Name < shapes[j].Name })
+	return shapes
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# fabric smoke: mixed workload reaches steady state with zero leaked
+# leases and reclaim within budget.
+source "$(dirname "$0")/smoke-lib.sh"
+
+go build -o flumen-fabric ./cmd/flumen-fabric
+./flumen-fabric -smoke
+echo "fabric smoke: PASS"

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# faults smoke: monitored mesh holds ≤2× baseline error under drift,
+# unmonitored degrades ≥10×, and serving stays 200 throughout.
+source "$(dirname "$0")/smoke-lib.sh"
+
+go run -race ./cmd/flumen-bench -faults -smoke -faultsout /tmp/BENCH_faults.json
+echo "faults smoke: PASS"

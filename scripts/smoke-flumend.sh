@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# flumend smoke: serve, probe the core endpoints, drain cleanly.
+source "$(dirname "$0")/smoke-lib.sh"
+
+go build -o flumend ./cmd/flumend
+
+BASE=http://127.0.0.1:8099
+start_server flumend "$BASE" ./flumend -addr 127.0.0.1:8099 -trace
+PID=$SERVER_PID
+
+wait_healthz "$BASE"
+curl -fs -X POST "$BASE/v1/matmul" \
+  -d '{"m":[[1,0],[0,1]],"x":[[1],[2]]}' | grep -q '"c"'
+curl -fs "$BASE/metrics" | grep -q 'flumend_requests_total{endpoint="matmul"} 1'
+
+drain "$PID"   # exit 0 = clean graceful drain
+echo "flumend smoke: PASS"

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# kernel smoke: compiled ≡ interpreted bitwise at every sweep point.
+source "$(dirname "$0")/smoke-lib.sh"
+
+go test -race -run 'Plan|ForwardBatch|MVMBatch|CompileRange|MatrixInto' ./internal/photonic/
+go test -race -run 'CompiledKernels|FaultInjectionForcesFallback|KernelStats' .
+go run ./cmd/flumen-bench -kernel -smoke -kernelout /tmp/BENCH_kernel.json
+echo "kernel smoke: PASS"

@@ -1,0 +1,79 @@
+# Shared serve-probe-drain helpers for the CI smoke scripts.
+#
+# Every smoke script sources this library and gets:
+#   - per-server logs under $SMOKE_LOG_DIR (uploaded as CI artifacts on
+#     failure),
+#   - start_server / wait_healthz / drain primitives instead of seven
+#     copy-pasted polling loops,
+#   - a failure trap that snapshots each live server's /debug/requests
+#     ring and /metrics before reaping leftover processes, so a red smoke
+#     job always leaves enough evidence to diagnose without a rerun.
+#
+# Usage: source "$(dirname "$0")/smoke-lib.sh"
+
+set -euo pipefail
+
+SMOKE_LOG_DIR="${SMOKE_LOG_DIR:-smoke-logs}"
+mkdir -p "$SMOKE_LOG_DIR"
+
+SMOKE_PIDS=()
+SMOKE_NAMES=()
+SMOKE_URLS=()
+
+# start_server <name> <base-url> <cmd...>
+# Launches cmd in the background with output in $SMOKE_LOG_DIR/<name>.log
+# and registers it for failure dumps and cleanup. Sets SERVER_PID. Pass ""
+# as base-url for processes without an HTTP surface.
+start_server() {
+  local name="$1" url="$2"
+  shift 2
+  "$@" >"$SMOKE_LOG_DIR/$name.log" 2>&1 &
+  SERVER_PID=$!
+  SMOKE_PIDS+=("$SERVER_PID")
+  SMOKE_NAMES+=("$name")
+  SMOKE_URLS+=("$url")
+  echo "smoke: started $name (pid $SERVER_PID, log $SMOKE_LOG_DIR/$name.log)"
+}
+
+# wait_healthz <base-url> [grep-pattern]
+# Polls <base-url>/healthz until the body matches the pattern (default: the
+# ok status) or ~15s elapse.
+wait_healthz() {
+  local url="$1" pattern="${2:-\"status\":\"ok\"}"
+  for _ in $(seq 1 75); do
+    if curl -fs "$url/healthz" 2>/dev/null | grep -q "$pattern"; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "smoke: $url/healthz never matched '$pattern'" >&2
+  return 1
+}
+
+# drain <pid>
+# Graceful stop: SIGTERM, then wait. The wait propagates the server's exit
+# code, so a dirty drain fails the script.
+drain() {
+  kill -TERM "$1"
+  wait "$1"
+}
+
+smoke_cleanup() {
+  local rc=$? i pid
+  if [ "$rc" -ne 0 ]; then
+    echo "smoke: FAILED (rc=$rc) — dumping diagnostics into $SMOKE_LOG_DIR" >&2
+    for i in "${!SMOKE_PIDS[@]}"; do
+      local url="${SMOKE_URLS[$i]}" name="${SMOKE_NAMES[$i]}"
+      if [ -n "$url" ] && kill -0 "${SMOKE_PIDS[$i]}" 2>/dev/null; then
+        curl -fs "$url/debug/requests" >"$SMOKE_LOG_DIR/$name-requests.json" 2>/dev/null || true
+        curl -fs "$url/metrics" >"$SMOKE_LOG_DIR/$name-metrics.txt" 2>/dev/null || true
+        curl -fs "$url/healthz" >"$SMOKE_LOG_DIR/$name-healthz.json" 2>/dev/null || true
+      fi
+    done
+  fi
+  for pid in "${SMOKE_PIDS[@]}"; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+  exit "$rc"
+}
+trap smoke_cleanup EXIT

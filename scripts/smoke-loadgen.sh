@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# loadgen smoke: the deterministic workload generator passes bitwise
+# conformance through a single flumend and through a router-fronted
+# 2-backend fleet, and the gate comparator actually fails on a doctored
+# baseline.
+source "$(dirname "$0")/smoke-lib.sh"
+
+go build -o flumen-loadgen ./cmd/flumen-loadgen
+
+# Conformance straight into one flumend (self-hosted in-process).
+./flumen-loadgen -mode conformance -spawn 1 -requests 120 \
+  -ports 16 -block 8 -dim 16 -matrices 8
+
+# The same invariant through the router: routing must not change a bit.
+./flumen-loadgen -mode conformance -spawn 2 -requests 120 \
+  -ports 16 -block 8 -dim 16 -matrices 8
+
+# Bench + self-gate round trip, then prove the gate can fail: doctor the
+# baseline's throughput 10× up and expect exit 3.
+./flumen-loadgen -mode bench -spawn 1 -requests 120 \
+  -ports 16 -block 8 -dim 16 -matrices 8 -out /tmp/lg-base.json
+./flumen-loadgen -mode gate -baseline /tmp/lg-base.json -current /tmp/lg-base.json
+python3 - <<'EOF'
+import json
+res = json.load(open("/tmp/lg-base.json"))
+res["throughput_rps"] *= 10
+json.dump(res, open("/tmp/lg-doctored.json", "w"))
+EOF
+set +e
+./flumen-loadgen -mode gate -baseline /tmp/lg-doctored.json -current /tmp/lg-base.json
+RC=$?
+set -e
+test "$RC" = 3   # the synthetic regression must trip the gate
+
+echo "loadgen smoke: PASS"
